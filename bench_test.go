@@ -1,0 +1,156 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the Pollux paper's evaluation (Sec. 5), one benchmark per exhibit.
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs its experiment at quick scale (see
+// internal/experiments.QuickScale), logs the regenerated rows, and
+// reports headline numbers as custom benchmark metrics. For paper-scale
+// runs use `go run ./cmd/pollux-bench -scale full`. Paper-vs-measured
+// results are recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration and logs
+// the regenerated table once.
+func runExperiment(b *testing.B, id string, metrics map[string]string) experiments.Outcome {
+	b.Helper()
+	sc := experiments.QuickScale()
+	var out experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		o, err := experiments.Run(id, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = o
+	}
+	b.Log("\n" + out.String())
+	for key, unit := range metrics {
+		if v, ok := out.Values[key]; ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+	return out
+}
+
+// BenchmarkFig1aThroughputVsGPUs regenerates Fig. 1a: throughput vs GPUs
+// for batch sizes 512 and 2048 (ResNet-18/CIFAR-10).
+func BenchmarkFig1aThroughputVsGPUs(b *testing.B) {
+	runExperiment(b, "fig1a", map[string]string{
+		"scaling512":  "x-scaling@512",
+		"scaling2048": "x-scaling@2048",
+	})
+}
+
+// BenchmarkFig1bBestBatchSize regenerates Fig. 1b: the goodput-optimal
+// batch size by GPU count for the first vs second half of training.
+func BenchmarkFig1bBestBatchSize(b *testing.B) {
+	runExperiment(b, "fig1b", map[string]string{
+		"first/16":  "batch@16gpu-early",
+		"second/16": "batch@16gpu-late",
+	})
+}
+
+// BenchmarkFig2aEfficiencyVsProgress regenerates Fig. 2a: statistical
+// efficiency over training for small vs large batch sizes (ResNet-50).
+func BenchmarkFig2aEfficiencyVsProgress(b *testing.B) {
+	runExperiment(b, "fig2a", map[string]string{
+		"e8000/0.0": "eff@8000-start",
+		"e8000/1.0": "eff@8000-end",
+	})
+}
+
+// BenchmarkFig2bEfficiencyPrediction regenerates Fig. 2b: Eqn.-7-predicted
+// vs actual efficiency across batch sizes, with phi measured by the
+// gradient-noise-scale estimators.
+func BenchmarkFig2bEfficiencyPrediction(b *testing.B) {
+	runExperiment(b, "fig2b", map[string]string{
+		"maxAbsErr": "max-abs-err",
+	})
+}
+
+// BenchmarkFig3ThroughputModelFit regenerates Fig. 3: the throughput model
+// fit (RMSLE/L-BFGS) against ground truth vs node count and batch size.
+func BenchmarkFig3ThroughputModelFit(b *testing.B) {
+	runExperiment(b, "fig3", map[string]string{
+		"meanRelErr": "mean-rel-err",
+		"rmsle":      "rmsle",
+	})
+}
+
+// BenchmarkFig6WorkloadDiurnal regenerates Fig. 6: submissions per hour of
+// the synthetic workload (hour-4 peak at ~3x hour 1).
+func BenchmarkFig6WorkloadDiurnal(b *testing.B) {
+	runExperiment(b, "fig6", map[string]string{
+		"peakRatio": "peak/hour1",
+	})
+}
+
+// BenchmarkTable2SchedulerComparison regenerates Table 2: avg/p99 JCT and
+// makespan for Pollux vs Optimus+Oracle vs Tiresias+TunedJobs on
+// ideally-tuned jobs, plus the Sec. 5.2.1 efficiency comparison.
+func BenchmarkTable2SchedulerComparison(b *testing.B) {
+	runExperiment(b, "table2", map[string]string{
+		"reductionVsOptimus":  "jct-reduction-vs-optimus",
+		"reductionVsTiresias": "jct-reduction-vs-tiresias",
+	})
+}
+
+// BenchmarkFig7RealisticJobs regenerates Fig. 7: normalized avg JCT as the
+// share of user-configured jobs grows 0% -> 100%.
+func BenchmarkFig7RealisticJobs(b *testing.B) {
+	runExperiment(b, "fig7", map[string]string{
+		"Tiresias/100":       "tiresias-norm@100%",
+		"Optimus+Oracle/100": "optimus-norm@100%",
+	})
+}
+
+// BenchmarkFig8LoadSensitivity regenerates Fig. 8: avg JCT under 0.5x-2x
+// job load for all three schedulers.
+func BenchmarkFig8LoadSensitivity(b *testing.B) {
+	runExperiment(b, "fig8", map[string]string{
+		"Pollux/degradation":             "pollux-2x/0.5x",
+		"Tiresias+TunedJobs/degradation": "tiresias-2x/0.5x",
+	})
+}
+
+// BenchmarkTable3JobWeights regenerates Table 3: the λ job-weight decay
+// ablation (Eqn. 16) on Pollux JCT percentiles.
+func BenchmarkTable3JobWeights(b *testing.B) {
+	runExperiment(b, "table3", map[string]string{
+		"p50/0.5": "p50@lambda0.5",
+		"avg/0.5": "avg@lambda0.5",
+	})
+}
+
+// BenchmarkFig9Interference regenerates Fig. 9: avg JCT under injected
+// network interference with avoidance enabled vs disabled.
+func BenchmarkFig9Interference(b *testing.B) {
+	runExperiment(b, "fig9", map[string]string{
+		"on/0.50":  "avoid-on@50%",
+		"off/0.50": "avoid-off@50%",
+	})
+}
+
+// BenchmarkFig10Autoscaling regenerates Fig. 10: goodput-based vs
+// throughput-based cloud autoscaling for ImageNet training.
+func BenchmarkFig10Autoscaling(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{
+		"costRatio": "cost-ratio",
+		"timeRatio": "time-ratio",
+	})
+}
+
+// BenchmarkValidateEfficiencyOnRealSGD is an extension exhibit: the
+// Eqn. 7 efficiency model checked against real data-parallel SGD runs
+// (internal/train) rather than the scripted model zoo.
+func BenchmarkValidateEfficiencyOnRealSGD(b *testing.B) {
+	runExperiment(b, "validate", map[string]string{
+		"worstOff": "worst-actual/pred",
+	})
+}

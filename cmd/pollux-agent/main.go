@@ -1,0 +1,70 @@
+// Command pollux-agent runs one or more training jobs against a running
+// pollux-sched process: each job is a live Trainer whose PolluxAgent
+// profiles iteration times, fits its goodput model online, tunes its
+// batch size, and reports over the scheduler's RPC endpoint (Sec. 4.1 /
+// Sec. 4.3). Training is simulated from the model zoo under a wall-clock
+// compression factor.
+//
+// Usage:
+//
+//	pollux-agent [-addr 127.0.0.1:7077] [-jobs resnet18,neumf]
+//	             [-epochs 20] [-compression 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "pollux-sched RPC address")
+	jobList := flag.String("jobs", "resnet18,neumf", "comma-separated zoo model names, one job each")
+	epochs := flag.Float64("epochs", 20, "statistical epochs per job (scaled down from the zoo defaults)")
+	compression := flag.Float64("compression", 300, "simulated seconds per wall-clock second")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	names := strings.Split(*jobList, ",")
+	var wg sync.WaitGroup
+	results := make([]string, len(names))
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		spec := models.ByName(name)
+		if spec == nil {
+			log.Fatalf("unknown model %q (have %v)", name, models.Names())
+		}
+		s := *spec
+		if *epochs > 0 {
+			s.Epochs = *epochs
+		}
+		tr := &cluster.Trainer{
+			Job:         fmt.Sprintf("%s-%d", name, i),
+			Spec:        &s,
+			Compression: *compression,
+			Seed:        *seed + int64(i),
+		}
+		wg.Add(1)
+		go func(i int, tr *cluster.Trainer) {
+			defer wg.Done()
+			log.Printf("%s: starting (%.0f statistical epochs)", tr.Job, tr.Spec.Epochs)
+			simSecs, err := tr.Run("tcp", *addr, 0)
+			if err != nil {
+				results[i] = fmt.Sprintf("%s: error: %v", tr.Job, err)
+				return
+			}
+			results[i] = fmt.Sprintf("%s: finished in %s simulated (final batch %d)",
+				tr.Job, metrics.Hours(simSecs), tr.Batch())
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, r := range results {
+		log.Print(r)
+	}
+}

@@ -1,0 +1,55 @@
+// Command pollux-bench regenerates the tables and figures of the Pollux
+// paper's evaluation section (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	pollux-bench [-scale quick|full] [-exp all|table2,fig7,...]
+//
+// Quick scale finishes in a couple of minutes; full scale approximates the
+// paper's 160-job / 64-GPU / 8-seed setup and can take an hour or more.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := experiments.All()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		o, err := experiments.Run(id, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(o)
+		fmt.Printf("(%s in %s, scale=%s)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

@@ -1,0 +1,75 @@
+// Command pollux-sched runs the PolluxSched service as a standalone
+// process: it listens for PolluxAgent reports over net/rpc, and
+// periodically optimizes cluster-wide allocations with the genetic
+// algorithm (Sec. 4.2), applying them to the in-memory cluster state that
+// stands in for Kubernetes (Sec. 4.3).
+//
+// Usage:
+//
+//	pollux-sched [-listen 127.0.0.1:7077] [-nodes 4] [-gpus 4]
+//	             [-interval 1s] [-population 50] [-generations 30]
+//
+// Pair it with one or more `pollux-agent` processes pointed at the same
+// address.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7077", "address to serve the scheduler RPC on")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	gpus := flag.Int("gpus", 4, "GPUs per node")
+	interval := flag.Duration("interval", time.Second, "wall-clock scheduling interval")
+	population := flag.Int("population", 50, "GA population size")
+	generations := flag.Int("generations", 30, "GA generations per interval")
+	seed := flag.Int64("seed", 1, "GA random seed")
+	flag.Parse()
+
+	capacity := make([]int, *nodes)
+	for i := range capacity {
+		capacity[i] = *gpus
+	}
+	state := cluster.NewState(capacity)
+	svc := cluster.NewService(state)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("pollux-sched: serving on %s, cluster %d nodes x %d GPUs", ln.Addr(), *nodes, *gpus)
+
+	go func() {
+		if err := cluster.Serve(svc, ln); err != nil {
+			log.Printf("rpc server stopped: %v", err)
+		}
+	}()
+
+	policy := sched.NewPollux(sched.PolluxOptions{
+		Population: *population, Generations: *generations,
+	}, *seed)
+	simNow := 0.0
+	for {
+		n, err := svc.ScheduleOnce(policy, simNow)
+		if err != nil {
+			log.Printf("schedule: %v", err)
+		} else if n > 0 {
+			usage := state.Usage()
+			used := 0
+			for _, u := range usage {
+				used += u
+			}
+			log.Printf("scheduled %d jobs; GPUs in use %d/%d %v", n, used, *nodes**gpus, usage)
+		}
+		simNow += 60
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,145 @@
+// Command pollux-sim runs a single trace-driven cluster simulation under a
+// chosen scheduling policy and prints its job-completion statistics.
+//
+// Usage:
+//
+//	pollux-sim [-policy pollux|optimus|tiresias] [-jobs 160] [-hours 8]
+//	           [-nodes 16] [-gpus 4] [-seed 1] [-user] [-interference 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "pollux", "scheduling policy: pollux, optimus, or tiresias")
+	jobs := flag.Int("jobs", 160, "number of job submissions")
+	hours := flag.Float64("hours", 8, "submission window in hours")
+	nodes := flag.Int("nodes", 16, "cluster nodes")
+	gpus := flag.Int("gpus", 4, "GPUs per node")
+	seed := flag.Int64("seed", 1, "random seed (trace and policy)")
+	user := flag.Bool("user", false, "use realistic user configs instead of tuned configs")
+	interference := flag.Float64("interference", 0, "artificial slowdown for co-located distributed jobs (0-0.9)")
+	noAvoid := flag.Bool("no-avoidance", false, "disable Pollux interference avoidance")
+	tick := flag.Float64("tick", 2, "simulation tick seconds")
+	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
+	events := flag.Int("events", 0, "print the last N scheduling events")
+	flag.Parse()
+
+	var trace workload.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trace, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		*jobs = len(trace.Jobs)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		trace = workload.Generate(rng, workload.Options{
+			Jobs: *jobs, Hours: *hours,
+			GPUsPerNode: *gpus, MaxGPUs: *nodes * *gpus,
+		})
+		if err := trace.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
+
+	var p sched.Policy
+	switch *policy {
+	case "pollux":
+		p = sched.NewPollux(sched.PolluxOptions{
+			Population: 50, Generations: 30,
+			DisableInterferenceAvoidance: *noAvoid,
+		}, *seed)
+	case "optimus":
+		p = sched.NewOptimus(*gpus)
+	case "tiresias":
+		p = sched.NewTiresias()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Nodes: *nodes, GPUsPerNode: *gpus, Tick: *tick,
+		UseTunedConfig:       !*user,
+		InterferenceSlowdown: *interference,
+		Seed:                 *seed,
+		LogEvents:            *events > 0,
+	}
+	res := sim.NewCluster(trace, p, cfg).Run()
+	s := res.Summary
+
+	fmt.Printf("policy=%s jobs=%d cluster=%dx%d GPUs seed=%d configs=%s\n",
+		p.Name(), *jobs, *nodes, *gpus, *seed, configName(*user))
+	fmt.Print(metrics.Table(
+		[]string{"completed", "avg JCT", "p50 JCT", "p99 JCT", "makespan", "stat.eff", "avg tput", "avg goodput"},
+		[][]string{{
+			fmt.Sprintf("%d/%d", s.Completed, s.Total),
+			metrics.Hours(s.AvgJCT), metrics.Hours(s.P50JCT), metrics.Hours(s.P99JCT),
+			metrics.Hours(s.Makespan),
+			fmt.Sprintf("%.0f%%", 100*s.AvgEfficiency),
+			fmt.Sprintf("%.0f ex/s", res.AvgThroughput),
+			fmt.Sprintf("%.0f ex/s", res.AvgGoodput),
+		}},
+	))
+	fmt.Println()
+	fmt.Print(metrics.Table([]string{"model", "done", "avg JCT", "p99 JCT"}, perModelRows(res)))
+
+	if *events > 0 {
+		start := len(res.Events) - *events
+		if start < 0 {
+			start = 0
+		}
+		fmt.Printf("\nlast %d events:\n", len(res.Events)-start)
+		for _, e := range res.Events[start:] {
+			fmt.Println(" ", e)
+		}
+	}
+}
+
+func perModelRows(res sim.Result) [][]string {
+	names := make([]string, 0, len(res.PerModel))
+	for name := range res.PerModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([][]string, 0, len(names))
+	for _, name := range names {
+		s := res.PerModel[name]
+		if s.Total == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d/%d", s.Completed, s.Total),
+			metrics.Hours(s.AvgJCT),
+			metrics.Hours(s.P99JCT),
+		})
+	}
+	return rows
+}
+
+func configName(user bool) string {
+	if user {
+		return "user (Sec. 5.3.1)"
+	}
+	return "tuned (Sec. 5.2)"
+}

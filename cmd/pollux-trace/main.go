@@ -1,0 +1,119 @@
+// Command pollux-trace generates and inspects synthetic workload traces
+// (Sec. 5.1 of the Pollux paper): the Table 1 model mix over the diurnal
+// submission pattern of Fig. 6, with both tuned and user configurations
+// per job.
+//
+// Usage:
+//
+//	pollux-trace [-jobs 160] [-hours 8] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 160, "number of job submissions")
+	hours := flag.Float64("hours", 8, "submission window in hours")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print every job")
+	out := flag.String("o", "", "write the trace as JSON to this file")
+	load := flag.String("load", "", "load a JSON trace instead of generating one")
+	flag.Parse()
+
+	var tr workload.Trace
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "invalid trace:", err)
+			os.Exit(1)
+		}
+		*hours = tr.Duration / 3600
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		tr = workload.Generate(rng, workload.Options{Jobs: *jobs, Hours: *hours})
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "invalid trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	fmt.Printf("trace: %d jobs over %.1f hours (seed %d)\n\n", len(tr.Jobs), *hours, *seed)
+
+	// Model mix.
+	counts := map[string]int{}
+	for _, j := range tr.Jobs {
+		counts[j.Model]++
+	}
+	var mixRows [][]string
+	for _, s := range models.Zoo() {
+		mixRows = append(mixRows, []string{
+			s.Name, s.Category.String(),
+			fmt.Sprintf("%.1f GPU-h", s.GPUTimeHours()),
+			fmt.Sprint(counts[s.Name]),
+			fmt.Sprintf("%.0f%%", 100*float64(counts[s.Name])/float64(len(tr.Jobs))),
+			fmt.Sprintf("%.0f%%", 100*s.Frac),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"model", "category", "1-GPU time", "jobs", "share", "target"}, mixRows))
+	fmt.Println()
+
+	// Diurnal histogram (Fig. 6).
+	hist := tr.HourlyCounts()
+	peak := 1
+	for _, c := range hist {
+		if c > peak {
+			peak = c
+		}
+	}
+	var histRows [][]string
+	for h, c := range hist {
+		histRows = append(histRows, []string{
+			fmt.Sprint(h + 1), fmt.Sprint(c),
+			strings.Repeat("#", 40*c/peak),
+		})
+	}
+	fmt.Print(metrics.Table([]string{"hour", "submissions", ""}, histRows))
+
+	if *verbose {
+		fmt.Println()
+		var rows [][]string
+		for _, j := range tr.Jobs {
+			rows = append(rows, []string{
+				fmt.Sprint(j.ID), j.Model,
+				fmt.Sprintf("%.0fs", j.Submit),
+				fmt.Sprintf("%dxGPU m=%d", j.TunedGPUs, j.TunedBatch),
+				fmt.Sprintf("%dxGPU m=%d", j.UserGPUs, j.UserBatch),
+			})
+		}
+		fmt.Print(metrics.Table([]string{"job", "model", "submit", "tuned config", "user config"}, rows))
+	}
+}

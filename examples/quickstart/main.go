@@ -1,0 +1,87 @@
+// Quickstart: model the goodput of one DL training job.
+//
+// This example walks the core Pollux workflow at the level of a single
+// job: profile (allocation, batch size, iteration time) samples, fit the
+// system-throughput model θsys (Sec. 4.1), combine it with the gradient
+// noise scale into a goodput function (Sec. 3), and use it to pick the
+// goodput-optimal batch size and AdaScale learning rate for different
+// resource allocations.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+func main() {
+	// The "job": ResNet-18 on CIFAR-10 from the evaluation model zoo.
+	// Its Truth field plays the role of the real cluster — the thing we
+	// measure but never read directly.
+	spec := models.ByName("resnet18")
+	fmt.Printf("job: %s/%s  m0=%d  eta0=%g\n\n", spec.Name, spec.Dataset, spec.M0, spec.Eta0)
+
+	// 1. Profile iteration times, as the PolluxAgent would during
+	// training, with 5% measurement noise.
+	ag := agent.New(spec.M0, spec.Eta0, spec.MaxBatchPerGPU, spec.MaxBatchGlobal)
+	rng := rand.New(rand.NewSource(1))
+	for _, pl := range []core.Placement{
+		{GPUs: 1, Nodes: 1}, {GPUs: 2, Nodes: 1}, {GPUs: 4, Nodes: 1},
+		{GPUs: 8, Nodes: 2}, {GPUs: 16, Nodes: 4},
+	} {
+		for m := spec.M0; m <= 4096; m *= 2 {
+			tIter := spec.Truth.TIter(pl, float64(m))
+			noisy := tIter * (1 + 0.05*(rng.Float64()*2-1))
+			ag.RecordSample(pl, m, noisy)
+		}
+	}
+
+	// 2. Fit θsys and report the goodput function at mid-training.
+	ag.SetPhi(spec.Phi(0.5))
+	model := ag.Report()
+	fmt.Printf("fitted θsys: αgrad=%.3fs βgrad=%.5fs/ex αl=%.3fs αn=%.3fs γ=%.2f\n",
+		model.Params.AlphaGrad, model.Params.BetaGrad,
+		model.Params.AlphaSyncLocal, model.Params.AlphaSyncNode, model.Params.Gamma)
+	fmt.Printf("gradient noise scale φ = %.0f\n\n", model.Phi)
+
+	// 3. For each candidate allocation, the goodput-optimal batch size,
+	// AdaScale learning rate, and speedup over a single GPU (Eqn. 15).
+	var rows [][]string
+	for _, pl := range []core.Placement{
+		{GPUs: 1, Nodes: 1}, {GPUs: 2, Nodes: 1}, {GPUs: 4, Nodes: 1},
+		{GPUs: 8, Nodes: 2}, {GPUs: 16, Nodes: 4},
+	} {
+		m, goodput, ok := model.OptimalBatch(pl)
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			pl.String(),
+			fmt.Sprint(m),
+			fmt.Sprintf("%.4f", model.OptimalLR(spec.Eta0, m)),
+			fmt.Sprintf("%.0f ex/s", model.Throughput(pl, m)),
+			fmt.Sprintf("%.2f", model.Efficiency(m)),
+			fmt.Sprintf("%.0f ex/s", goodput),
+			fmt.Sprintf("%.2fx", model.Speedup(pl)),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"allocation", "batch*", "lr (AdaScale)", "throughput", "efficiency", "goodput", "speedup"},
+		rows))
+
+	// 4. The same question later in training: the noise scale has grown,
+	// so bigger batches are efficient and the job scales further.
+	ag.SetPhi(spec.Phi(0.9))
+	late := ag.Report()
+	pl := core.Placement{GPUs: 16, Nodes: 4}
+	mEarly, _, _ := model.OptimalBatch(pl)
+	mLate, _, _ := late.OptimalBatch(pl)
+	fmt.Printf("\n16-GPU optimal batch: %d at mid-training -> %d late in training (φ %.0f -> %.0f)\n",
+		mEarly, mLate, model.Phi, late.Phi)
+}

@@ -1,0 +1,206 @@
+// Package agent implements the PolluxAgent (Sec. 4.1 of the paper): the
+// per-job component that profiles iteration times and gradient statistics
+// during training, fits the system-throughput parameters θsys online, and
+// tunes the job's batch size (and, through AdaScale, its learning rate)
+// for the resources currently allocated to it. At a fixed interval it
+// reports its fitted goodput function to PolluxSched.
+package agent
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gns"
+)
+
+// Agent is the per-job profiler/tuner. It is safe for concurrent use: the
+// live-cluster runtime calls RecordSample from the training loop goroutine
+// while the reporting loop calls Refit/Report.
+type Agent struct {
+	mu sync.Mutex
+
+	m0             int
+	eta0           float64
+	maxBatchPerGPU int
+	maxBatchGlobal int
+
+	// Profiled throughput observations, keyed by configuration. Multiple
+	// observations of the same configuration are averaged, which both
+	// bounds memory and de-noises the fit.
+	profile map[profileKey]*profileEntry
+
+	explored   core.Exploration
+	fitted     core.Params
+	hasFit     bool
+	fitConfigs int // distinct configs at last fit
+
+	phi     *gns.Tracker
+	lastPhi float64
+
+	batch int // current tuned batch size
+}
+
+type profileKey struct {
+	gpus, nodes, batch int
+}
+
+type profileEntry struct {
+	sumTIter float64
+	count    int
+}
+
+// New creates an agent for a job submitted with initial batch size m0 and
+// learning rate eta0, subject to the given batch-size limits.
+func New(m0 int, eta0 float64, maxBatchPerGPU, maxBatchGlobal int) *Agent {
+	if m0 <= 0 {
+		panic("agent: non-positive m0")
+	}
+	return &Agent{
+		m0:             m0,
+		eta0:           eta0,
+		maxBatchPerGPU: maxBatchPerGPU,
+		maxBatchGlobal: maxBatchGlobal,
+		profile:        make(map[profileKey]*profileEntry),
+		phi:            gns.NewTracker(0.9),
+		batch:          m0,
+	}
+}
+
+// RecordSample profiles one observed iteration time for a configuration.
+func (a *Agent) RecordSample(pl core.Placement, batch int, tIter float64) {
+	if !pl.Valid() || batch <= 0 || tIter <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.explored.Observe(pl)
+	k := profileKey{pl.GPUs, pl.Nodes, batch}
+	e := a.profile[k]
+	if e == nil {
+		e = &profileEntry{}
+		a.profile[k] = e
+	}
+	e.sumTIter += tIter
+	e.count++
+}
+
+// ObserveGradients folds one iteration's gradient statistics estimate into
+// the smoothed noise-scale tracker.
+func (a *Agent) ObserveGradients(e gns.Estimate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.phi.Observe(e)
+	a.lastPhi = a.phi.NoiseScale()
+}
+
+// SetPhi directly sets the smoothed noise scale. The trace-driven
+// simulator uses this to replay measured noise-scale trajectories, as the
+// paper's simulator does (Sec. 5.3).
+func (a *Agent) SetPhi(phi float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastPhi = phi
+}
+
+// Refit re-estimates θsys from all profiled data (Sec. 4.1: periodic
+// RMSLE fit with L-BFGS-B under the exploration priors). When no new
+// configuration has been profiled since the last fit, the refit is
+// skipped: repeated observations of known configurations only tighten
+// their averages, which barely moves the fit but costs a full L-BFGS run.
+func (a *Agent) Refit() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hasFit && len(a.profile) == a.fitConfigs {
+		return
+	}
+	a.refitLocked()
+}
+
+// ForceRefit re-estimates θsys even without new configurations, absorbing
+// the averaging of repeated observations.
+func (a *Agent) ForceRefit() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.refitLocked()
+}
+
+func (a *Agent) refitLocked() {
+	samples := make([]core.Sample, 0, len(a.profile))
+	for k, e := range a.profile {
+		samples = append(samples, core.Sample{
+			Placement: core.Placement{GPUs: k.gpus, Nodes: k.nodes},
+			Batch:     k.batch,
+			TIter:     e.sumTIter / float64(e.count),
+		})
+	}
+	prev := core.Params{}
+	if a.hasFit {
+		prev = a.fitted
+	}
+	a.fitted = core.Fit(samples, prev, a.explored)
+	a.hasFit = true
+	a.fitConfigs = len(a.profile)
+}
+
+// Report returns the job's current goodput function — the (θsys, φt, m0)
+// triple of Sec. 4.1 — for PolluxSched. If the agent has never fit, it
+// fits first.
+func (a *Agent) Report() core.Model {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.hasFit {
+		a.refitLocked()
+	}
+	return core.Model{
+		Params:         a.fitted,
+		Phi:            a.lastPhi,
+		M0:             a.m0,
+		MaxBatchPerGPU: a.maxBatchPerGPU,
+		MaxBatchGlobal: a.maxBatchGlobal,
+	}
+}
+
+// TuneBatch re-evaluates the goodput-optimal batch size for the job's
+// current placement (Eqn. 13) and returns it together with the AdaScale
+// learning rate for that batch. The chosen batch is remembered.
+func (a *Agent) TuneBatch(pl core.Placement) (batch int, lr float64) {
+	model := a.Report()
+	m, _, ok := model.OptimalBatch(pl)
+	if !ok {
+		m = a.m0
+	}
+	a.mu.Lock()
+	a.batch = m
+	a.mu.Unlock()
+	return m, model.OptimalLR(a.eta0, m)
+}
+
+// Batch returns the most recently tuned batch size (initially m0).
+func (a *Agent) Batch() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.batch
+}
+
+// GPUCap returns the exploration cap: at most twice the maximum GPUs the
+// job has held (Sec. 4.1), so optimistic priors cannot scale a new job
+// out arbitrarily.
+func (a *Agent) GPUCap() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.explored.GPUCap()
+}
+
+// Explored returns a copy of the exploration extent.
+func (a *Agent) Explored() core.Exploration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.explored
+}
+
+// SampleCount reports how many distinct configurations have been profiled.
+func (a *Agent) SampleCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.profile)
+}

@@ -1,0 +1,144 @@
+// Package cluster is the in-memory testbed runtime standing in for the
+// paper's Kubernetes deployment (Sec. 4.3): nodes with GPUs, pod-like
+// replica placements with bind/evict lifecycle and checkpoint-restart, a
+// PolluxSched control loop, and a net/rpc boundary over which PolluxAgents
+// report goodput functions and receive allocations — the same
+// agent/scheduler split as the real system, at laptop scale.
+//
+// Training itself is simulated: each job's Trainer advances a model-zoo
+// spec's ground truth under a configurable time compression, profiling
+// noisy iteration times and gradient statistics exactly as the simulator
+// does, but across real goroutines and a real network socket.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/sched"
+)
+
+// State tracks node capacity and live job placements. It is the
+// "API server" of the toy cluster: all placement changes go through it,
+// and it enforces GPU capacity invariants.
+type State struct {
+	mu       sync.Mutex
+	capacity []int
+	placed   map[string][]int // job -> per-node GPUs
+}
+
+// NewState creates a cluster with the given per-node GPU capacities.
+func NewState(capacity []int) *State {
+	c := make([]int, len(capacity))
+	copy(c, capacity)
+	return &State{capacity: c, placed: make(map[string][]int)}
+}
+
+// Capacity returns a copy of per-node GPU capacities.
+func (s *State) Capacity() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.capacity))
+	copy(out, s.capacity)
+	return out
+}
+
+// Placement returns the job's current allocation (copy) and whether the
+// job is known.
+func (s *State) Placement(job string) ([]int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.placed[job]
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, len(row))
+	copy(out, row)
+	return out, true
+}
+
+// Bind applies a new allocation for a job, replacing any previous one.
+// It fails if the allocation would oversubscribe any node.
+func (s *State) Bind(job string, row []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(row) != len(s.capacity) {
+		return fmt.Errorf("cluster: allocation has %d nodes, cluster has %d", len(row), len(s.capacity))
+	}
+	for n := range s.capacity {
+		used := 0
+		for j, r := range s.placed {
+			if j != job {
+				used += r[n]
+			}
+		}
+		if used+row[n] > s.capacity[n] {
+			return fmt.Errorf("cluster: node %d oversubscribed: %d + %d > %d", n, used, row[n], s.capacity[n])
+		}
+	}
+	cp := make([]int, len(row))
+	copy(cp, row)
+	s.placed[job] = cp
+	return nil
+}
+
+// Evict removes a job's placement entirely.
+func (s *State) Evict(job string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.placed, job)
+}
+
+// Jobs lists currently placed job names.
+func (s *State) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.placed))
+	for j := range s.placed {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Usage returns per-node GPU usage.
+func (s *State) Usage() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.capacity))
+	for _, row := range s.placed {
+		for n, g := range row {
+			out[n] += g
+		}
+	}
+	return out
+}
+
+// ApplyMatrix binds an allocation matrix for the named jobs atomically
+// with respect to capacity checking: it validates the whole matrix first.
+func (s *State) ApplyMatrix(jobs []string, m ga.Matrix) error {
+	if len(jobs) != len(m) {
+		return fmt.Errorf("cluster: %d jobs but %d rows", len(jobs), len(m))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := range s.capacity {
+		total := 0
+		for j := range m {
+			total += m[j][n]
+		}
+		if total > s.capacity[n] {
+			return fmt.Errorf("cluster: matrix oversubscribes node %d", n)
+		}
+	}
+	for i, job := range jobs {
+		cp := make([]int, len(m[i]))
+		copy(cp, m[i])
+		s.placed[job] = cp
+	}
+	return nil
+}
+
+// PlacementOf converts a row to the core placement summary.
+func PlacementOf(row []int) core.Placement { return sched.PlacementOf(row) }

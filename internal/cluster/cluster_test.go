@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/models"
+	"repro/internal/sched"
+)
+
+func TestStateBindAndEvict(t *testing.T) {
+	s := NewState([]int{4, 4})
+	if err := s.Bind("a", []int{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("b", []int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	u := s.Usage()
+	if u[0] != 4 || u[1] != 2 {
+		t.Errorf("usage = %v, want [4 2]", u)
+	}
+	// Over capacity on node 0.
+	if err := s.Bind("c", []int{1, 0}); err == nil {
+		t.Error("oversubscription not rejected")
+	}
+	// Rebinding a replaces the old placement, not adds to it.
+	if err := s.Bind("a", []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	u = s.Usage()
+	if u[0] != 2 || u[1] != 3 {
+		t.Errorf("usage after rebind = %v, want [2 3]", u)
+	}
+	s.Evict("a")
+	if _, ok := s.Placement("a"); ok {
+		t.Error("evicted job still placed")
+	}
+	if len(s.Jobs()) != 1 {
+		t.Errorf("jobs = %v, want just b", s.Jobs())
+	}
+}
+
+func TestStateBindWrongShape(t *testing.T) {
+	s := NewState([]int{4})
+	if err := s.Bind("a", []int{1, 1}); err == nil {
+		t.Error("wrong-shape allocation accepted")
+	}
+}
+
+func TestStatePlacementIsCopy(t *testing.T) {
+	s := NewState([]int{4})
+	s.Bind("a", []int{2})
+	row, _ := s.Placement("a")
+	row[0] = 99
+	again, _ := s.Placement("a")
+	if again[0] != 2 {
+		t.Error("Placement leaked internal state")
+	}
+}
+
+func TestApplyMatrixValidatesWholeMatrix(t *testing.T) {
+	s := NewState([]int{4, 4})
+	m := ga.Matrix{{3, 0}, {3, 0}} // node 0 oversubscribed in aggregate
+	if err := s.ApplyMatrix([]string{"a", "b"}, m); err == nil {
+		t.Error("aggregate oversubscription accepted")
+	}
+	ok := ga.Matrix{{3, 0}, {1, 4}}
+	if err := s.ApplyMatrix([]string{"a", "b"}, ok); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Usage(); u[0] != 4 || u[1] != 4 {
+		t.Errorf("usage = %v", u)
+	}
+}
+
+func TestServiceReportAllocateRoundTrip(t *testing.T) {
+	state := NewState([]int{4, 4})
+	svc := NewService(state)
+
+	spec := models.ByName("resnet18")
+	var vec [7]float64
+	copy(vec[:], spec.Truth.Vector())
+	rep := Report{
+		Job: "job-0", Params: vec, Phi: spec.Phi(0.5),
+		M0: spec.M0, MaxBatchPerGPU: spec.MaxBatchPerGPU,
+		MaxBatchGlobal: spec.MaxBatchGlobal, GPUCap: 8,
+	}
+	if err := svc.SubmitReport(rep, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
+	n, err := svc.ScheduleOnce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("scheduled %d jobs, want 1", n)
+	}
+	var alloc Allocation
+	if err := svc.GetAllocation("job-0", &alloc); err != nil {
+		t.Fatal(err)
+	}
+	pl := sched.PlacementOf(alloc.Row)
+	if pl.GPUs == 0 {
+		t.Error("job not allocated any GPUs")
+	}
+	if pl.GPUs > 8 {
+		t.Errorf("allocation %d exceeds reported GPU cap 8", pl.GPUs)
+	}
+	if alloc.Generation == 0 {
+		t.Error("generation not bumped on allocation")
+	}
+
+	// Done report evicts.
+	rep.Done = true
+	if err := svc.SubmitReport(rep, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Placement("job-0"); ok {
+		t.Error("done job still placed")
+	}
+}
+
+func TestServiceRejectsAnonymousReport(t *testing.T) {
+	svc := NewService(NewState([]int{4}))
+	if err := svc.SubmitReport(Report{}, &struct{}{}); err == nil {
+		t.Error("empty job name accepted")
+	}
+}
+
+func TestRPCOverRealSocket(t *testing.T) {
+	state := NewState([]int{4, 4})
+	svc := NewService(state)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go Serve(svc, ln)
+
+	client, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	spec := models.ByName("neumf")
+	var vec [7]float64
+	copy(vec[:], spec.Truth.Vector())
+	err = client.SubmitReport(Report{
+		Job: "rpc-job", Params: vec, Phi: spec.Phi(0.2),
+		M0: spec.M0, MaxBatchPerGPU: spec.MaxBatchPerGPU, GPUCap: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sched.NewPollux(sched.PolluxOptions{Population: 10, Generations: 5}, 2)
+	if _, err := svc.ScheduleOnce(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := client.GetAllocation("rpc-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.PlacementOf(alloc.Row).GPUs == 0 {
+		t.Error("no GPUs allocated over RPC")
+	}
+}
+
+func TestTrainerRunsToCompletionOverRPC(t *testing.T) {
+	state := NewState([]int{4, 4})
+	svc := NewService(state)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go Serve(svc, ln)
+
+	// Tiny job: neumf with shrunken work so the test runs in seconds.
+	spec := *models.ByName("neumf")
+	spec.Epochs = 0.5
+	tr := &Trainer{
+		Job: "live-0", Spec: &spec,
+		Compression: 50000, Seed: 3,
+	}
+
+	// Scheduler loop.
+	stop := make(chan struct{})
+	go func() {
+		p := sched.NewPollux(sched.PolluxOptions{Population: 10, Generations: 5}, 3)
+		simNow := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.ScheduleOnce(p, simNow)
+			simNow += 60
+		}
+	}()
+	defer close(stop)
+
+	simSecs, err := tr.Run("tcp", ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done() {
+		t.Error("trainer not done")
+	}
+	if simSecs <= 0 {
+		t.Errorf("simulated duration = %v", simSecs)
+	}
+	if tr.Progress() < 1 {
+		t.Errorf("progress = %v, want >= 1", tr.Progress())
+	}
+}
+
+func TestPlacementOfReExport(t *testing.T) {
+	if PlacementOf([]int{2, 2}) != (core.Placement{GPUs: 4, Nodes: 2}) {
+		t.Error("PlacementOf wrong")
+	}
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/sched"
+)
+
+// Report is what a PolluxAgent sends the scheduler at each reporting
+// interval (Sec. 4.1: the fitted θsys and latest gradient statistics,
+// plus the accounting the scheduler needs for weights and exploration).
+type Report struct {
+	Job            string
+	Params         [7]float64 // θsys vector
+	Phi            float64
+	M0             int
+	MaxBatchPerGPU int
+	MaxBatchGlobal int
+	GPUCap         int
+	GPUTime        float64
+	Submit         float64
+	Done           bool
+}
+
+// Allocation is the scheduler's reply to a poll: the job's current
+// per-node GPU assignment and a generation counter that increments on
+// every change (so trainers can detect reallocation and checkpoint).
+type Allocation struct {
+	Row        []int
+	Generation int
+}
+
+// Service is the net/rpc-exposed scheduler endpoint.
+type Service struct {
+	mu      sync.Mutex
+	state   *State
+	reports map[string]Report
+	allocs  map[string]Allocation
+	order   []string // registration order for stable scheduling
+}
+
+// NewService wraps cluster state in an RPC service.
+func NewService(state *State) *Service {
+	return &Service{
+		state:   state,
+		reports: make(map[string]Report),
+		allocs:  make(map[string]Allocation),
+	}
+}
+
+// SubmitReport receives an agent report. Reply is unused.
+func (s *Service) SubmitReport(r Report, _ *struct{}) error {
+	if r.Job == "" {
+		return fmt.Errorf("cluster: report without job name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.reports[r.Job]; !seen {
+		s.order = append(s.order, r.Job)
+	}
+	s.reports[r.Job] = r
+	if r.Done {
+		s.state.Evict(r.Job)
+		cur := s.allocs[r.Job]
+		s.allocs[r.Job] = Allocation{Row: make([]int, len(s.state.Capacity())), Generation: cur.Generation + 1}
+	}
+	return nil
+}
+
+// GetAllocation returns the job's current allocation.
+func (s *Service) GetAllocation(job string, reply *Allocation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.allocs[job]
+	if !ok {
+		a = Allocation{Row: make([]int, len(s.state.Capacity()))}
+	}
+	*reply = Allocation{Row: append([]int(nil), a.Row...), Generation: a.Generation}
+	return nil
+}
+
+// ScheduleOnce runs one PolluxSched pass over all reported, unfinished
+// jobs and applies the best allocation matrix to the cluster state. It
+// returns the number of jobs scheduled.
+func (s *Service) ScheduleOnce(policy sched.Policy, now float64) (int, error) {
+	s.mu.Lock()
+	var jobs []string
+	view := &sched.ClusterView{Now: now, Capacity: s.state.Capacity()}
+	for _, name := range s.order {
+		r := s.reports[name]
+		if r.Done {
+			continue
+		}
+		jobs = append(jobs, name)
+		params := core.ParamsFromVector(r.Params[:])
+		view.Jobs = append(view.Jobs, sched.JobView{
+			ID:     len(jobs) - 1,
+			Submit: r.Submit,
+			Model: core.Model{
+				Params:         params,
+				Phi:            r.Phi,
+				M0:             r.M0,
+				MaxBatchPerGPU: r.MaxBatchPerGPU,
+				MaxBatchGlobal: r.MaxBatchGlobal,
+			},
+			GPUCap:  r.GPUCap,
+			GPUTime: r.GPUTime,
+		})
+	}
+	view.Current = ga.NewMatrix(len(jobs), len(view.Capacity))
+	for i, name := range jobs {
+		if row, ok := s.state.Placement(name); ok {
+			copy(view.Current[i], row)
+		}
+	}
+	s.mu.Unlock()
+
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+	m := policy.Schedule(view)
+	if len(m) != len(jobs) {
+		return 0, fmt.Errorf("cluster: policy returned %d rows for %d jobs", len(m), len(jobs))
+	}
+	if err := s.state.ApplyMatrix(jobs, m); err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range jobs {
+		cur := s.allocs[name]
+		if !sameRow(cur.Row, m[i]) {
+			s.allocs[name] = Allocation{Row: append([]int(nil), m[i]...), Generation: cur.Generation + 1}
+		}
+	}
+	return len(jobs), nil
+}
+
+func sameRow(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Serve registers the service under the name "PolluxSched" and accepts
+// RPC connections on the listener until it is closed.
+func Serve(svc *Service, ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("PolluxSched", svc); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Client is a typed RPC client for agents.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to a scheduler endpoint.
+func Dial(network, addr string) (*Client, error) {
+	c, err := rpc.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// SubmitReport sends an agent report.
+func (c *Client) SubmitReport(r Report) error {
+	return c.c.Call("PolluxSched.SubmitReport", r, &struct{}{})
+}
+
+// GetAllocation polls the job's allocation.
+func (c *Client) GetAllocation(job string) (Allocation, error) {
+	var a Allocation
+	err := c.c.Call("PolluxSched.GetAllocation", job, &a)
+	return a, err
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sched"
+)
+
+// Trainer simulates one training job as a live goroutine: it polls its
+// allocation over RPC, advances ground-truth training under a wall-clock
+// compression factor, profiles noisy observations into its PolluxAgent,
+// and reports the fitted goodput function back to the scheduler — the
+// full Sec. 4.3 agent loop against a real socket.
+type Trainer struct {
+	Job  string
+	Spec *models.Spec
+
+	// Compression maps wall-clock to simulated seconds (e.g. 1000 means
+	// one real millisecond simulates one second of training).
+	Compression float64
+	// ReportEvery is the simulated-seconds interval between reports
+	// (default 30, as in the paper).
+	ReportEvery float64
+	// RestartDelay is the simulated checkpoint-restart pause (default 30).
+	RestartDelay float64
+	Seed         int64
+
+	mu       sync.Mutex
+	progress float64
+	gpuTime  float64
+	batch    int
+	done     bool
+}
+
+// Progress returns the fraction of total work completed, in [0, 1].
+func (t *Trainer) Progress() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.progress / t.Spec.TotalWork()
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Batch returns the current batch size.
+func (t *Trainer) Batch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.batch
+}
+
+// Done reports completion.
+func (t *Trainer) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// Run drives the job to completion against the scheduler at addr. It
+// returns the total simulated seconds the job took.
+func (t *Trainer) Run(network, addr string, submit float64) (float64, error) {
+	if t.Compression <= 0 {
+		t.Compression = 1000
+	}
+	if t.ReportEvery <= 0 {
+		t.ReportEvery = 30
+	}
+	if t.RestartDelay == 0 {
+		t.RestartDelay = 30
+	}
+	client, err := Dial(network, addr)
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(t.Seed))
+	ag := agent.New(t.Spec.M0, t.Spec.Eta0, t.Spec.MaxBatchPerGPU, t.Spec.MaxBatchGlobal)
+	t.mu.Lock()
+	t.batch = t.Spec.M0
+	t.mu.Unlock()
+
+	const tick = 5.0 // simulated seconds per step
+	simNow := 0.0
+	restartUntil := 0.0
+	lastGen := -1
+	nextReport := 0.0
+
+	report := func(done bool) error {
+		model := ag.Report()
+		var vec [7]float64
+		copy(vec[:], model.Params.Vector())
+		t.mu.Lock()
+		gpuTime := t.gpuTime
+		t.mu.Unlock()
+		return client.SubmitReport(Report{
+			Job: t.Job, Params: vec, Phi: model.Phi,
+			M0: model.M0, MaxBatchPerGPU: model.MaxBatchPerGPU,
+			MaxBatchGlobal: model.MaxBatchGlobal,
+			GPUCap:         ag.GPUCap(), GPUTime: gpuTime,
+			Submit: submit, Done: done,
+		})
+	}
+	if err := report(false); err != nil {
+		return 0, err
+	}
+
+	for {
+		alloc, err := client.GetAllocation(t.Job)
+		if err != nil {
+			return simNow, err
+		}
+		pl := sched.PlacementOf(alloc.Row)
+		if alloc.Generation != lastGen {
+			lastGen = alloc.Generation
+			if pl.GPUs > 0 {
+				restartUntil = simNow + t.RestartDelay
+			}
+		}
+
+		if pl.GPUs > 0 && simNow >= restartUntil {
+			t.step(ag, rng, pl, tick)
+		}
+		simNow += tick
+
+		if simNow >= nextReport {
+			phi := t.Spec.Phi(t.Progress()) * (1 + 0.05*(rng.Float64()*2-1))
+			ag.SetPhi(phi)
+			ag.Refit()
+			if pl.GPUs > 0 {
+				b, _ := ag.TuneBatch(pl)
+				t.mu.Lock()
+				t.batch = b
+				t.mu.Unlock()
+			}
+			if err := report(false); err != nil {
+				return simNow, err
+			}
+			nextReport += t.ReportEvery
+		}
+
+		if t.Done() {
+			return simNow, report(true)
+		}
+		time.Sleep(time.Duration(float64(time.Second) * tick / t.Compression))
+	}
+}
+
+// step advances one tick of simulated training.
+func (t *Trainer) step(ag *agent.Agent, rng *rand.Rand, pl core.Placement, dt float64) {
+	t.mu.Lock()
+	m := t.batch
+	t.mu.Unlock()
+	if maxFit := pl.GPUs * t.Spec.MaxBatchPerGPU; m > maxFit {
+		m = maxFit
+	}
+	if m < t.Spec.M0 {
+		return
+	}
+	tIter := t.Spec.Truth.TIter(pl, float64(m))
+	tput := float64(m) / tIter
+	eff := core.Efficiency(t.Spec.Phi(t.Progress()), t.Spec.M0, m)
+	ag.RecordSample(pl, m, tIter*(1+0.05*(rng.Float64()*2-1)))
+
+	t.mu.Lock()
+	t.progress += tput * eff * dt
+	t.gpuTime += float64(pl.GPUs) * dt
+	if t.progress >= t.Spec.TotalWork() {
+		t.done = true
+	}
+	t.mu.Unlock()
+}

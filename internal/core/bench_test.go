@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchModel() Model {
+	return Model{
+		Params:         refParams,
+		Phi:            5000,
+		M0:             128,
+		MaxBatchPerGPU: 1024,
+	}
+}
+
+func BenchmarkGoodputEval(b *testing.B) {
+	m := benchModel()
+	pl := Placement{GPUs: 16, Nodes: 4}
+	for i := 0; i < b.N; i++ {
+		m.Goodput(pl, 2048)
+	}
+}
+
+func BenchmarkOptimalBatch(b *testing.B) {
+	m := benchModel()
+	pl := Placement{GPUs: 16, Nodes: 4}
+	for i := 0; i < b.N; i++ {
+		m.OptimalBatch(pl)
+	}
+}
+
+func BenchmarkSpeedup(b *testing.B) {
+	m := benchModel()
+	pl := Placement{GPUs: 16, Nodes: 4}
+	for i := 0; i < b.N; i++ {
+		m.Speedup(pl)
+	}
+}
+
+func BenchmarkFitThroughputModel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	samples := genSamples(rng, refParams, 0.05, 4, allPlacements)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fit(samples, Params{}, Exploration{MaxGPUs: 16, MaxNodes: 4})
+	}
+}

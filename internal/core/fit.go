@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/opt"
+)
+
+// Sample is one observed (allocation, batch size, iteration time) triple
+// recorded by the PolluxAgent during training (Sec. 4.1).
+type Sample struct {
+	Placement Placement
+	Batch     int
+	TIter     float64 // observed seconds per iteration
+}
+
+// Exploration records the extent of the allocation space a job has
+// visited. Pollux biases θsys towards perfect scaling for unexplored
+// configurations (prior-driven exploration, Sec. 4.1) by freezing the
+// corresponding parameters at zero until data exists to fit them:
+//
+//   - the local sync constant is frozen at 0 until the job has used more
+//     than one GPU (no synchronization ever observed);
+//   - the node sync parameters are frozen at 0 until the job has used
+//     more than one node;
+//   - the retrogression slopes are frozen at 0 until the job has used
+//     more than two GPUs (a slope is unidentifiable from K ≤ 2).
+//
+// This makes unexplored configurations look perfectly scalable, so
+// PolluxSched is encouraged to try them as part of its normal goodput
+// optimization.
+type Exploration struct {
+	MaxGPUs  int // most GPUs the job has ever been allocated
+	MaxNodes int // most nodes the job has ever spanned
+}
+
+// Observe widens the exploration extent with a placement the job ran on.
+func (e *Exploration) Observe(pl Placement) {
+	if pl.GPUs > e.MaxGPUs {
+		e.MaxGPUs = pl.GPUs
+	}
+	if pl.Nodes > e.MaxNodes {
+		e.MaxNodes = pl.Nodes
+	}
+}
+
+// GPUCap returns the exploration cap on allocations: at most twice the
+// maximum number of GPUs the job has held in its lifetime (Sec. 4.1),
+// preventing a brand-new job from being scaled out arbitrarily on the
+// strength of its optimistic priors alone.
+func (e Exploration) GPUCap() int {
+	if e.MaxGPUs < 1 {
+		return 2
+	}
+	return 2 * e.MaxGPUs
+}
+
+// fitBounds returns the box constraints for θsys fitting, applying the
+// prior freezes for unexplored configurations.
+func (e Exploration) fitBounds() opt.Bounds {
+	// Vector order: αg, βg, αl, βl, αn, βn, γ.
+	lo := []float64{1e-6, 1e-8, 0, 0, 0, 0, 1}
+	hi := []float64{100, 10, 100, 10, 100, 10, 10}
+	freeze := func(i int) { lo[i], hi[i] = 0, 0 }
+	if e.MaxGPUs <= 1 {
+		freeze(2) // αl: no sync ever observed
+	}
+	if e.MaxNodes <= 1 {
+		freeze(4) // αn
+		freeze(5) // βn
+	}
+	if e.MaxGPUs <= 2 {
+		freeze(3) // βl: retrogression unidentifiable
+		freeze(5) // βn
+	}
+	return opt.Bounds{Lower: lo, Upper: hi}
+}
+
+// RMSLE returns the root mean squared logarithmic error between the
+// model's predicted iteration times and the observed samples — the fitting
+// loss from Sec. 4.1.
+func RMSLE(p Params, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		pred := p.TIter(s.Placement, float64(s.Batch))
+		d := math.Log(math.Max(pred, 1e-12)) - math.Log(math.Max(s.TIter, 1e-12))
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}
+
+// Fit estimates θsys from observed samples by minimizing RMSLE with
+// box-constrained L-BFGS (the paper uses L-BFGS-B), honoring the
+// exploration priors. prev, if non-zero, seeds one of the multi-start
+// points so fits are stable across refits. With no samples, Fit returns an
+// optimistic default consistent with the priors.
+func Fit(samples []Sample, prev Params, explored Exploration) Params {
+	bounds := explored.fitBounds()
+	if len(samples) == 0 {
+		def := defaultParams(samples)
+		v := def.Vector()
+		bounds.Clamp(v)
+		return ParamsFromVector(v)
+	}
+
+	loss := func(v []float64) float64 {
+		return RMSLE(ParamsFromVector(v), samples)
+	}
+
+	// Fits run every agent interval for every job in the cluster, so the
+	// start list is kept short: a warm start from the previous fit plus a
+	// data-derived default, with a sync-heavy start only for cold fits.
+	starts := make([][]float64, 0, 3)
+	if prev != (Params{}) {
+		pv := prev.Vector()
+		bounds.Clamp(pv)
+		starts = append(starts, pv)
+	}
+	dv := defaultParams(samples).Vector()
+	bounds.Clamp(dv)
+	starts = append(starts, dv)
+	if prev == (Params{}) {
+		// A sync-heavy start helps when the data is dominated by
+		// multi-node placements.
+		hv := defaultParams(samples)
+		hv.AlphaSyncLocal, hv.AlphaSyncNode = 0.05, 0.1
+		hv.Gamma = 3
+		h := hv.Vector()
+		bounds.Clamp(h)
+		starts = append(starts, h)
+	}
+
+	res := opt.MultiStart(loss, starts, bounds, opt.LBFGSBOptions{MaxIter: 150})
+	return ParamsFromVector(res.X)
+}
+
+// defaultParams derives a heuristic starting point from the samples: the
+// smallest single-GPU iteration time is split evenly between the constant
+// and the per-example term.
+func defaultParams(samples []Sample) Params {
+	base := 0.1 // arbitrary but harmless default scale (seconds)
+	batch := 128.0
+	found := false
+	for _, s := range samples {
+		if s.Placement.GPUs == 1 && (!found || s.TIter < base) {
+			base = s.TIter
+			batch = float64(s.Batch)
+			found = true
+		}
+	}
+	return Params{
+		AlphaGrad: base / 2,
+		BetaGrad:  base / 2 / batch,
+		Gamma:     1.5,
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var refRack = RackParams{
+	Params:        refParams,
+	AlphaSyncRack: 0.20,
+	BetaSyncRack:  0.010,
+}
+
+func TestRackPlacementValid(t *testing.T) {
+	cases := []struct {
+		pl   RackPlacement
+		want bool
+	}{
+		{RackPlacement{GPUs: 1, Nodes: 1, Racks: 1}, true},
+		{RackPlacement{GPUs: 8, Nodes: 2, Racks: 2}, true},
+		{RackPlacement{GPUs: 8, Nodes: 2, Racks: 3}, false}, // more racks than nodes
+		{RackPlacement{GPUs: 8, Nodes: 2, Racks: 0}, false},
+		{RackPlacement{GPUs: 1, Nodes: 2, Racks: 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.pl.Valid(); got != c.want {
+			t.Errorf("%+v.Valid() = %v, want %v", c.pl, got, c.want)
+		}
+	}
+}
+
+func TestRackVectorRoundTrip(t *testing.T) {
+	v := refRack.Vector()
+	if len(v) != 9 {
+		t.Fatalf("vector len = %d, want 9", len(v))
+	}
+	if RackParamsFromVector(v) != refRack {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestRackTSyncTiers(t *testing.T) {
+	// Single GPU: no sync.
+	if ts := refRack.TSync(RackPlacement{GPUs: 1, Nodes: 1, Racks: 1}); ts != 0 {
+		t.Errorf("single GPU sync = %v", ts)
+	}
+	// One node: local params, identical to the flat model.
+	pl := RackPlacement{GPUs: 4, Nodes: 1, Racks: 1}
+	if got, want := refRack.TSync(pl), refParams.TSync(pl.Flat()); got != want {
+		t.Errorf("one-node sync = %v, want %v", got, want)
+	}
+	// Multi-node one rack: node params, identical to the flat model.
+	pl = RackPlacement{GPUs: 8, Nodes: 2, Racks: 1}
+	if got, want := refRack.TSync(pl), refParams.TSync(pl.Flat()); got != want {
+		t.Errorf("one-rack sync = %v, want %v", got, want)
+	}
+	// Cross-rack: the rack pair, more expensive than within-rack here.
+	cross := refRack.TSync(RackPlacement{GPUs: 8, Nodes: 2, Racks: 2})
+	within := refRack.TSync(RackPlacement{GPUs: 8, Nodes: 2, Racks: 1})
+	if cross <= within {
+		t.Errorf("cross-rack sync %v not above within-rack %v", cross, within)
+	}
+	want := refRack.AlphaSyncRack + 6*refRack.BetaSyncRack
+	if math.Abs(cross-want) > 1e-12 {
+		t.Errorf("cross-rack sync = %v, want %v", cross, want)
+	}
+}
+
+func TestRackThroughputDropsAcrossRacks(t *testing.T) {
+	m := 2048.0
+	within := refRack.Throughput(RackPlacement{GPUs: 16, Nodes: 4, Racks: 1}, m)
+	across := refRack.Throughput(RackPlacement{GPUs: 16, Nodes: 4, Racks: 4}, m)
+	if across >= within {
+		t.Errorf("cross-rack throughput %v not below within-rack %v", across, within)
+	}
+}
+
+func TestRackTIterBetweenMaxAndSum(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RackParams{
+			Params:        randParams(rng),
+			AlphaSyncRack: rng.Float64() * 0.5,
+			BetaSyncRack:  rng.Float64() * 0.05,
+		}
+		nodes := 2 + rng.Intn(6)
+		pl := RackPlacement{
+			GPUs:  nodes * (1 + rng.Intn(4)),
+			Nodes: nodes,
+			Racks: 1 + rng.Intn(nodes),
+		}
+		m := float64(64 + rng.Intn(4096))
+		tg := p.TGrad(m, pl.GPUs)
+		ts := p.TSync(pl)
+		ti := p.TIter(pl, m)
+		return ti >= math.Max(tg, ts)-1e-9 && ti <= tg+ts+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genRackSamples(rng *rand.Rand, truth RackParams, noise float64) []RackSample {
+	var out []RackSample
+	pls := []RackPlacement{
+		{GPUs: 1, Nodes: 1, Racks: 1},
+		{GPUs: 2, Nodes: 1, Racks: 1},
+		{GPUs: 4, Nodes: 1, Racks: 1},
+		{GPUs: 8, Nodes: 2, Racks: 1},
+		{GPUs: 16, Nodes: 4, Racks: 1},
+		{GPUs: 16, Nodes: 4, Racks: 2},
+		{GPUs: 32, Nodes: 8, Racks: 2},
+		{GPUs: 32, Nodes: 8, Racks: 4},
+	}
+	for _, pl := range pls {
+		for _, m := range []int{128, 256, 512, 1024, 2048} {
+			ti := truth.TIter(pl, float64(m))
+			if noise > 0 {
+				ti *= 1 + noise*(rng.Float64()*2-1)
+			}
+			out = append(out, RackSample{Placement: pl, Batch: m, TIter: ti})
+		}
+	}
+	return out
+}
+
+func TestFitRackRecoversCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	samples := genRackSamples(rng, refRack, 0)
+	explored := RackExploration{
+		Exploration: Exploration{MaxGPUs: 32, MaxNodes: 8},
+		MaxRacks:    4,
+	}
+	got := FitRack(samples, RackParams{}, explored)
+	if r := RackRMSLE(got, samples); r > 0.03 {
+		t.Errorf("RMSLE = %v, want < 0.03", r)
+	}
+	// Held-out cross-rack prediction.
+	pl := RackPlacement{GPUs: 24, Nodes: 6, Racks: 3}
+	want := refRack.TIter(pl, 1536)
+	pred := got.TIter(pl, 1536)
+	if math.Abs(pred-want)/want > 0.2 {
+		t.Errorf("held-out TIter: pred %v vs truth %v", pred, want)
+	}
+}
+
+func TestFitRackFreezesRackParamsUntilExplored(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	truth := refRack
+	// Only single-rack samples observed.
+	var samples []RackSample
+	for _, s := range genRackSamples(rng, truth, 0) {
+		if s.Placement.Racks == 1 {
+			samples = append(samples, s)
+		}
+	}
+	explored := RackExploration{
+		Exploration: Exploration{MaxGPUs: 16, MaxNodes: 4},
+		MaxRacks:    1,
+	}
+	got := FitRack(samples, RackParams{}, explored)
+	if got.AlphaSyncRack != 0 || got.BetaSyncRack != 0 {
+		t.Errorf("rack params not frozen: %+v", got)
+	}
+}
+
+func TestFitRackEmptySamples(t *testing.T) {
+	got := FitRack(nil, RackParams{}, RackExploration{})
+	if got.AlphaSyncRack != 0 || got.AlphaSyncNode != 0 {
+		t.Errorf("empty fit should honor priors: %+v", got)
+	}
+}
+
+func TestRackExplorationObserve(t *testing.T) {
+	var e RackExploration
+	e.Observe(RackPlacement{GPUs: 8, Nodes: 4, Racks: 2})
+	if e.MaxGPUs != 8 || e.MaxNodes != 4 || e.MaxRacks != 2 {
+		t.Errorf("explored = %+v", e)
+	}
+}
+
+func TestRackParamsFromVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on short vector")
+		}
+	}()
+	RackParamsFromVector(make([]float64, 7))
+}

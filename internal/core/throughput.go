@@ -1,0 +1,127 @@
+// Package core implements the Pollux paper's primary contribution: the
+// goodput of distributed deep-learning training (Sec. 3) — a performance
+// metric combining system throughput with statistical efficiency — along
+// with the throughput model (Eqns. 8–11), the efficiency model (Eqn. 7),
+// online fitting of the throughput parameters θsys with prior-driven
+// exploration (Sec. 4.1), goodput-optimal batch-size selection (Eqn. 13),
+// and the SPEEDUP function used by the cluster-wide optimizer (Eqn. 15).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Placement summarizes a resource allocation as seen by the throughput
+// model: the total number of allocated GPUs K and the number of distinct
+// physical nodes N those GPUs span. The full per-node allocation vector
+// lives in the scheduler; only (K, N) affect iteration time (Eqn. 10).
+type Placement struct {
+	GPUs  int // K: total GPUs allocated
+	Nodes int // N: number of nodes occupied by at least one replica
+}
+
+// SingleGPU is the placement every job starts with.
+var SingleGPU = Placement{GPUs: 1, Nodes: 1}
+
+// Valid reports whether the placement is physically meaningful.
+func (p Placement) Valid() bool {
+	return p.GPUs >= 1 && p.Nodes >= 1 && p.Nodes <= p.GPUs
+}
+
+func (p Placement) String() string {
+	return fmt.Sprintf("%dxGPU/%dnode", p.GPUs, p.Nodes)
+}
+
+// Params is θsys, the 7-tuple of learnable system-throughput parameters
+// (Eqn. 12): Tgrad = AlphaGrad + BetaGrad·(m/K), and Tsync per Eqn. 10
+// with distinct constants for co-located vs multi-node placements. Gamma
+// in [1, 10] interpolates between no overlap (γ=1, Titer = Tgrad+Tsync)
+// and perfect overlap (γ→∞, Titer = max) per Eqn. 11.
+type Params struct {
+	AlphaGrad      float64 // constant per-iteration gradient-computation time (s)
+	BetaGrad       float64 // per-example gradient-computation time (s)
+	AlphaSyncLocal float64 // constant sync time, all replicas on one node (s)
+	BetaSyncLocal  float64 // per-extra-replica sync retrogression, one node (s)
+	AlphaSyncNode  float64 // constant sync time, replicas across nodes (s)
+	BetaSyncNode   float64 // per-extra-replica sync retrogression, across nodes (s)
+	Gamma          float64 // overlap exponent in [1, 10]
+}
+
+// Vector flattens θsys in the canonical order used by fitting.
+func (p Params) Vector() []float64 {
+	return []float64{
+		p.AlphaGrad, p.BetaGrad,
+		p.AlphaSyncLocal, p.BetaSyncLocal,
+		p.AlphaSyncNode, p.BetaSyncNode,
+		p.Gamma,
+	}
+}
+
+// ParamsFromVector is the inverse of Params.Vector.
+func ParamsFromVector(v []float64) Params {
+	if len(v) != 7 {
+		panic("core: θsys vector must have 7 elements")
+	}
+	return Params{
+		AlphaGrad: v[0], BetaGrad: v[1],
+		AlphaSyncLocal: v[2], BetaSyncLocal: v[3],
+		AlphaSyncNode: v[4], BetaSyncNode: v[5],
+		Gamma: v[6],
+	}
+}
+
+// TGrad returns the modeled time per iteration spent computing local
+// gradients for overall batch size m on K GPUs (Eqn. 9).
+func (p Params) TGrad(m float64, k int) float64 {
+	return p.AlphaGrad + p.BetaGrad*m/float64(k)
+}
+
+// TSync returns the modeled gradient-synchronization time for a placement
+// (Eqn. 10). It is zero for a single GPU, uses the local parameters when
+// all replicas share one node, and the node parameters otherwise.
+func (p Params) TSync(pl Placement) float64 {
+	switch {
+	case pl.GPUs <= 1:
+		return 0
+	case pl.Nodes == 1:
+		return p.AlphaSyncLocal + p.BetaSyncLocal*float64(pl.GPUs-2)
+	default:
+		return p.AlphaSyncNode + p.BetaSyncNode*float64(pl.GPUs-2)
+	}
+}
+
+// TIter returns the modeled total time per training iteration (Eqn. 11),
+// the γ-generalized mean that smoothly interpolates between the no-overlap
+// sum (γ=1) and the perfect-overlap max (γ→∞) of TGrad and TSync.
+func (p Params) TIter(pl Placement, m float64) float64 {
+	tg := p.TGrad(m, pl.GPUs)
+	ts := p.TSync(pl)
+	if ts == 0 {
+		return tg
+	}
+	if tg == 0 {
+		return ts
+	}
+	g := p.Gamma
+	if g < 1 {
+		g = 1
+	}
+	// Compute (tg^γ + ts^γ)^(1/γ) in a numerically stable way by
+	// factoring out the larger term.
+	hi, lo := tg, ts
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	return hi * math.Pow(1+math.Pow(lo/hi, g), 1/g)
+}
+
+// Throughput returns the modeled system throughput in examples per second
+// for a placement and batch size (Eqn. 8).
+func (p Params) Throughput(pl Placement, m float64) float64 {
+	ti := p.TIter(pl, m)
+	if ti <= 0 {
+		return 0
+	}
+	return m / ti
+}

@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the Pollux
+// paper's evaluation (Sec. 5). Each experiment returns an Outcome with the
+// same rows/series the paper reports; cmd/pollux-bench prints them and the
+// repository-root benchmarks run them at reduced scale.
+//
+// Absolute numbers differ from the paper — the substrate here is the
+// simulator over the synthetic model zoo, not the authors' 64-GPU
+// testbed — but the shapes (who wins, by what factor, where crossovers
+// fall) are the reproduction target; see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Outcome is one regenerated table or figure.
+type Outcome struct {
+	ID     string // e.g. "table2", "fig7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Values holds machine-readable results keyed by experiment-specific
+	// names, consumed by tests and EXPERIMENTS.md tooling.
+	Values map[string]float64
+}
+
+// String renders the outcome as an aligned text table.
+func (o Outcome) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", o.ID, o.Title)
+	b.WriteString(metrics.Table(o.Header, o.Rows))
+	for _, n := range o.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func (o *Outcome) set(key string, v float64) {
+	if o.Values == nil {
+		o.Values = make(map[string]float64)
+	}
+	o.Values[key] = v
+}
+
+// Scale controls the cost of the simulation-backed experiments.
+type Scale struct {
+	Jobs        int
+	Hours       float64
+	Nodes       int
+	GPUsPerNode int
+	Seeds       []int64
+	Tick        float64
+	PolluxPop   int
+	PolluxGens  int
+	// AutoscaleEpochs shrinks the ImageNet job for Fig. 10.
+	AutoscaleEpochs float64
+}
+
+// QuickScale finishes in tens of seconds; used by `go test -bench`.
+func QuickScale() Scale {
+	return Scale{
+		Jobs: 30, Hours: 1.5, Nodes: 8, GPUsPerNode: 4,
+		Seeds: []int64{1, 2}, Tick: 4,
+		PolluxPop: 20, PolluxGens: 10,
+		AutoscaleEpochs: 1,
+	}
+}
+
+// FullScale approximates the paper's setup (160 jobs / 8 h / 16 nodes x 4
+// GPUs, 8 seeds). GA parameters are reduced from the paper's 100x100 to
+// keep full runs in minutes; the GA converges long before that budget on
+// these cluster sizes.
+func FullScale() Scale {
+	return Scale{
+		Jobs: 160, Hours: 8, Nodes: 16, GPUsPerNode: 4,
+		Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8}, Tick: 2,
+		PolluxPop: 50, PolluxGens: 30,
+		AutoscaleEpochs: 8,
+	}
+}
+
+// All returns every experiment id in paper order.
+func All() []string {
+	return []string{
+		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6",
+		"table2", "fig7", "fig8", "table3", "fig9", "fig10",
+		"validate",
+	}
+}
+
+// Run dispatches one experiment by id.
+func Run(id string, sc Scale) (Outcome, error) {
+	switch id {
+	case "fig1a":
+		return Fig1a(), nil
+	case "fig1b":
+		return Fig1b(), nil
+	case "fig2a":
+		return Fig2a(), nil
+	case "fig2b":
+		return Fig2b(), nil
+	case "fig3":
+		return Fig3(), nil
+	case "fig6":
+		return Fig6(), nil
+	case "table2":
+		return Table2(sc), nil
+	case "fig7":
+		return Fig7(sc), nil
+	case "fig8":
+		return Fig8(sc), nil
+	case "table3":
+		return Table3(sc), nil
+	case "fig9":
+		return Fig9(sc), nil
+	case "fig10":
+		return Fig10(sc), nil
+	case "validate":
+		return Validate(sc), nil
+	default:
+		return Outcome{}, fmt.Errorf("unknown experiment %q (have %v)", id, All())
+	}
+}

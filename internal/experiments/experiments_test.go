@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The micro experiments (model-level, no simulation) are cheap and their
+// reproduction claims can be asserted directly.
+
+func TestFig1aLargerBatchScalesBetter(t *testing.T) {
+	o := Fig1a()
+	if len(o.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(o.Rows))
+	}
+	if o.Values["scaling2048"] <= o.Values["scaling512"] {
+		t.Errorf("batch 2048 scaling %.2f not better than 512's %.2f",
+			o.Values["scaling2048"], o.Values["scaling512"])
+	}
+	// Throughput at 2048 with 16 GPUs should be several times the
+	// 512-batch 16-GPU throughput (Fig. 1a shows ~10k vs ~3k).
+	if o.Values["tput2048/16"] < 2*o.Values["tput512/16"] {
+		t.Errorf("16-GPU throughput: %v @2048 vs %v @512, want >= 2x",
+			o.Values["tput2048/16"], o.Values["tput512/16"])
+	}
+}
+
+func TestFig1bBatchGrowsWithGPUsAndStage(t *testing.T) {
+	o := Fig1b()
+	for _, k := range []int{2, 4, 8, 16} {
+		f := o.Values[keyInt("first", k)]
+		s := o.Values[keyInt("second", k)]
+		if s < f {
+			t.Errorf("K=%d: second-half best batch %v < first-half %v", k, s, f)
+		}
+	}
+	if o.Values["second/16"] <= o.Values["second/2"] {
+		t.Errorf("best batch should grow with GPUs: %v vs %v",
+			o.Values["second/16"], o.Values["second/2"])
+	}
+}
+
+func keyInt(prefix string, k int) string {
+	switch k {
+	case 2:
+		return prefix + "/2"
+	case 4:
+		return prefix + "/4"
+	case 8:
+		return prefix + "/8"
+	default:
+		return prefix + "/16"
+	}
+}
+
+func TestFig2aEfficiencyShapes(t *testing.T) {
+	o := Fig2a()
+	// Small batch is always at least as efficient as the big batch.
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		k8 := o.Values[fmt.Sprintf("e8000/%.1f", p)]
+		k0 := o.Values[fmt.Sprintf("e800/%.1f", p)]
+		if k8 > k0+1e-9 {
+			t.Errorf("p=%.1f: eff(8000)=%v > eff(800)=%v", p, k8, k0)
+		}
+	}
+	// The large-batch efficiency improves substantially over training.
+	if o.Values["e8000/1.0"] < 2*o.Values["e8000/0.0"] {
+		t.Errorf("eff(8000) at end %v not much better than start %v",
+			o.Values["e8000/1.0"], o.Values["e8000/0.0"])
+	}
+}
+
+func TestFig2bPredictionCloseToActual(t *testing.T) {
+	o := Fig2b()
+	if o.Values["maxAbsErr"] > 0.08 {
+		t.Errorf("max |pred-actual| = %v, want <= 0.08 (close agreement)", o.Values["maxAbsErr"])
+	}
+	rel := o.Values["phiMeasured"] / o.Values["phiTrue"]
+	if rel < 0.8 || rel > 1.25 {
+		t.Errorf("measured phi off by %vx", rel)
+	}
+}
+
+func TestFig3FitErrorSmall(t *testing.T) {
+	o := Fig3()
+	if o.Values["meanRelErr"] > 0.10 {
+		t.Errorf("mean relative fit error = %v, want <= 10%%", o.Values["meanRelErr"])
+	}
+	if o.Values["rmsle"] > 0.10 {
+		t.Errorf("RMSLE = %v, want <= 0.10", o.Values["rmsle"])
+	}
+}
+
+func TestFig6DiurnalPeak(t *testing.T) {
+	o := Fig6()
+	if len(o.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 hours", len(o.Rows))
+	}
+	if r := o.Values["peakRatio"]; r < 2.4 || r > 3.6 {
+		t.Errorf("peak ratio = %v, want ~3", r)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6"} {
+		o, err := Run(id, QuickScale())
+		if err != nil {
+			t.Fatalf("Run(%q): %v", id, err)
+		}
+		if o.ID != id || len(o.Rows) == 0 {
+			t.Errorf("Run(%q) returned empty outcome", id)
+		}
+		if s := o.String(); !strings.Contains(s, id) {
+			t.Errorf("String() missing id: %s", s)
+		}
+	}
+	if _, err := Run("bogus", QuickScale()); err == nil {
+		t.Error("Run(bogus) did not error")
+	}
+}
+
+func TestAllListsEveryExperiment(t *testing.T) {
+	ids := All()
+	if len(ids) != 13 {
+		t.Fatalf("All() = %d experiments, want 13 (12 paper exhibits + validate)", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The macro experiments drive full cluster simulations; they run at quick
+// scale here and are skipped under -short.
+
+func quick() Scale {
+	sc := QuickScale()
+	sc.Seeds = []int64{1} // single seed keeps the suite fast
+	return sc
+}
+
+func TestTable2PolluxWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Table2(quick())
+	if len(o.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(o.Rows))
+	}
+	p := o.Values["Pollux/avgJCT"]
+	if p <= 0 {
+		t.Fatal("no Pollux JCT recorded")
+	}
+	// The headline: Pollux beats both baselines on avg JCT even with
+	// ideally-tuned jobs.
+	if p >= o.Values["Optimus+Oracle/avgJCT"] {
+		t.Errorf("Pollux %v not better than Optimus %v", p, o.Values["Optimus+Oracle/avgJCT"])
+	}
+	if p >= o.Values["Tiresias+TunedJobs/avgJCT"] {
+		t.Errorf("Pollux %v not better than Tiresias %v", p, o.Values["Tiresias+TunedJobs/avgJCT"])
+	}
+	// Sec. 5.2.1: Pollux sustains higher statistical efficiency.
+	if o.Values["Pollux/eff"] <= o.Values["Tiresias+TunedJobs/eff"] {
+		t.Errorf("Pollux efficiency %v not above Tiresias %v",
+			o.Values["Pollux/eff"], o.Values["Tiresias+TunedJobs/eff"])
+	}
+}
+
+func TestFig7PolluxUnaffectedByUserConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Fig7(quick())
+	// Pollux's absolute JCT at 100% user-configured stays within 40% of
+	// its 0% value (paper: unaffected), while Tiresias degrades more.
+	p0 := o.Values["Pollux/abs/0"]
+	p100 := o.Values["Pollux/abs/100"]
+	if p100 > 1.4*p0 {
+		t.Errorf("Pollux degraded with user configs: %v -> %v", p0, p100)
+	}
+	t100 := o.Values["Tiresias+TunedJobs/100"]
+	if t100 <= 1.2 {
+		t.Errorf("Tiresias at 100%% user-configured = %vx Pollux, want > 1.2x", t100)
+	}
+}
+
+func TestFig8LoadDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Fig8(quick())
+	for _, name := range []string{"Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"} {
+		lo := o.Values[name+"/0.5"]
+		hi := o.Values[name+"/2.0"]
+		if hi < lo {
+			t.Errorf("%s: JCT at 2x load (%v) below 0.5x load (%v)", name, hi, lo)
+		}
+	}
+	// Pollux degrades no worse than Tiresias.
+	if o.Values["Pollux/degradation"] > o.Values["Tiresias+TunedJobs/degradation"]+0.3 {
+		t.Errorf("Pollux degradation %v well above Tiresias %v",
+			o.Values["Pollux/degradation"], o.Values["Tiresias+TunedJobs/degradation"])
+	}
+}
+
+func TestTable3WeightsImproveMedian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Table3(quick())
+	if o.Values["avg/0.0"] != 1 || o.Values["p50/0.0"] != 1 {
+		t.Fatal("λ=0 row must be the normalization base")
+	}
+	// Direction: λ=0.5 should not hurt the median (paper: 0.77).
+	if o.Values["p50/0.5"] > 1.1 {
+		t.Errorf("p50 at λ=0.5 = %v, want <= 1.1", o.Values["p50/0.5"])
+	}
+}
+
+func TestFig9AvoidanceShieldsInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Fig9(quick())
+	// With avoidance, JCT stays roughly flat across slowdowns.
+	if o.Values["on/0.50"] > 1.25 {
+		t.Errorf("avoidance-on JCT at 50%% slowdown = %v, want ~flat", o.Values["on/0.50"])
+	}
+	// Without avoidance, 50% slowdown must be worse than avoidance-on.
+	if o.Values["off/0.50"] <= o.Values["on/0.50"] {
+		t.Errorf("avoidance off (%v) not worse than on (%v) at 50%% slowdown",
+			o.Values["off/0.50"], o.Values["on/0.50"])
+	}
+}
+
+func TestFig10GoodputCheaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Fig10(quick())
+	if o.Values["costRatio"] >= 1 {
+		t.Errorf("Pollux autoscaling cost ratio = %v, want < 1 (cheaper)", o.Values["costRatio"])
+	}
+	if o.Values["pollux/avgEff"] <= o.Values["oretal/avgEff"] {
+		t.Errorf("Pollux avg efficiency %v not above Or et al. %v",
+			o.Values["pollux/avgEff"], o.Values["oretal/avgEff"])
+	}
+}
+
+func TestValidateEqn7OnRealSGD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run convergence experiment")
+	}
+	o := Validate(quick())
+	if len(o.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(o.Rows))
+	}
+	if o.Values["worstOff"] > 2.5 {
+		t.Errorf("worst discrepancy = %vx, want <= 2.5x", o.Values["worstOff"])
+	}
+}

@@ -1,0 +1,40 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGAStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	prob := Problem{
+		Capacity:              []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4},
+		Jobs:                  30,
+		Fitness:               simpleFitness,
+		InterferenceAvoidance: true,
+	}
+	g := New(prob, Options{Population: 50}, rng, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}
+
+func BenchmarkRepairCapacity(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	capacity := make([]int, 16)
+	for i := range capacity {
+		capacity[i] = 4
+	}
+	src := NewMatrix(30, 16)
+	for j := range src {
+		for n := range src[j] {
+			src[j][n] = rng.Intn(5)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := src.Clone()
+		RepairCapacity(m, capacity, rng)
+	}
+}

@@ -1,0 +1,373 @@
+// Package ga implements the genetic algorithm PolluxSched uses to optimize
+// cluster-wide resource allocations (Sec. 4.2.1 and Fig. 5 of the paper):
+// mutation of allocation-matrix elements, tournament-selection crossover
+// that mixes rows (job allocations) between parents, a repair step that
+// restores per-node GPU capacity and the interference-avoidance
+// constraint, and elitist survivor selection with the population carried
+// over between scheduling intervals.
+//
+// The GA is generic over the fitness function; PolluxSched supplies
+// Eqn. 14 (the weighted mean of per-job speedups with restart penalties).
+package ga
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Matrix is an allocation matrix A: Matrix[j][n] is the number of GPUs on
+// node n allocated to job j.
+type Matrix [][]int
+
+// NewMatrix allocates a zero matrix for jobs × nodes.
+func NewMatrix(jobs, nodes int) Matrix {
+	m := make(Matrix, jobs)
+	backing := make([]int, jobs*nodes)
+	for j := range m {
+		m[j], backing = backing[:nodes:nodes], backing[nodes:]
+	}
+	return m
+}
+
+// Clone deep-copies the matrix.
+func (m Matrix) Clone() Matrix {
+	if len(m) == 0 {
+		return Matrix{}
+	}
+	c := NewMatrix(len(m), len(m[0]))
+	for j := range m {
+		copy(c[j], m[j])
+	}
+	return c
+}
+
+// JobGPUs returns the total GPUs allocated to job j.
+func (m Matrix) JobGPUs(j int) int {
+	sum := 0
+	for _, g := range m[j] {
+		sum += g
+	}
+	return sum
+}
+
+// JobNodes returns the number of nodes on which job j has at least one GPU.
+func (m Matrix) JobNodes(j int) int {
+	n := 0
+	for _, g := range m[j] {
+		if g > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeUsage returns the total GPUs allocated on node n across all jobs.
+func (m Matrix) NodeUsage(n int) int {
+	sum := 0
+	for j := range m {
+		sum += m[j][n]
+	}
+	return sum
+}
+
+// Equal reports whether two matrices have identical entries.
+func (m Matrix) Equal(o Matrix) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for j := range m {
+		if len(m[j]) != len(o[j]) {
+			return false
+		}
+		for n := range m[j] {
+			if m[j][n] != o[j][n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Problem describes one cluster-wide allocation optimization.
+type Problem struct {
+	// Capacity[n] is the number of GPUs on node n.
+	Capacity []int
+	// Jobs is the number of rows in each allocation matrix.
+	Jobs int
+	// Fitness scores an allocation matrix; higher is better. It is
+	// called only on repaired (feasible) matrices.
+	Fitness func(Matrix) float64
+	// InterferenceAvoidance enforces that at most one distributed job
+	// (a job spanning more than one node) occupies each node (Sec. 4.2.1).
+	InterferenceAvoidance bool
+}
+
+// Options tunes the GA. The paper's defaults are population 100 and 100
+// generations per 60 s scheduling interval.
+type Options struct {
+	Population int // default 100
+	Tournament int // tournament size for parent selection, default 3
+}
+
+func (o *Options) defaults() {
+	if o.Population <= 0 {
+		o.Population = 100
+	}
+	if o.Tournament <= 0 {
+		o.Tournament = 3
+	}
+}
+
+// GA is the evolving population for one Problem. It is not safe for
+// concurrent use.
+type GA struct {
+	prob Problem
+	opts Options
+	rng  *rand.Rand
+
+	pop    []Matrix
+	scores []float64
+}
+
+// New creates a GA for the problem, seeded from the given matrices (the
+// population carried over from the previous scheduling interval; may be
+// nil or partial). Seeds with the wrong shape are ignored; the rest of
+// the population is filled with repaired random matrices and the zero
+// matrix (all jobs paused), which is always feasible.
+func New(prob Problem, opts Options, rng *rand.Rand, seeds []Matrix) *GA {
+	opts.defaults()
+	g := &GA{prob: prob, opts: opts, rng: rng}
+	g.pop = make([]Matrix, 0, opts.Population)
+	for _, s := range seeds {
+		if len(g.pop) == opts.Population {
+			break
+		}
+		if len(s) != prob.Jobs || (prob.Jobs > 0 && len(s[0]) != len(prob.Capacity)) {
+			continue
+		}
+		c := s.Clone()
+		g.repair(c)
+		g.pop = append(g.pop, c)
+	}
+	if len(g.pop) < opts.Population {
+		g.pop = append(g.pop, NewMatrix(prob.Jobs, len(prob.Capacity)))
+	}
+	for len(g.pop) < opts.Population {
+		m := NewMatrix(prob.Jobs, len(prob.Capacity))
+		for j := 0; j < prob.Jobs; j++ {
+			n := rng.Intn(len(prob.Capacity))
+			if cap := prob.Capacity[n]; cap > 0 {
+				m[j][n] = 1 + rng.Intn(cap)
+			}
+		}
+		g.repair(m)
+		g.pop = append(g.pop, m)
+	}
+	g.scores = make([]float64, len(g.pop))
+	for i, m := range g.pop {
+		g.scores[i] = prob.Fitness(m)
+	}
+	return g
+}
+
+// Step runs one generation: mutate, crossover, repair, and survivor
+// selection back down to the configured population size.
+func (g *GA) Step() {
+	offspring := make([]Matrix, 0, 2*len(g.pop))
+	// Mutation: each current member yields one mutated offspring.
+	for _, m := range g.pop {
+		c := m.Clone()
+		g.mutate(c)
+		g.repair(c)
+		offspring = append(offspring, c)
+	}
+	// Crossover: pair tournament winners to produce the same number of
+	// offspring again.
+	for i := 0; i < len(g.pop); i++ {
+		a := g.pop[g.tournament()]
+		b := g.pop[g.tournament()]
+		c := g.crossover(a, b)
+		g.repair(c)
+		offspring = append(offspring, c)
+	}
+
+	// Survivor selection: keep the best Population among old + new.
+	type scored struct {
+		m Matrix
+		f float64
+	}
+	all := make([]scored, 0, len(g.pop)+len(offspring))
+	for i, m := range g.pop {
+		all = append(all, scored{m, g.scores[i]})
+	}
+	for _, m := range offspring {
+		all = append(all, scored{m, g.prob.Fitness(m)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].f > all[j].f })
+	g.pop = g.pop[:0]
+	g.scores = g.scores[:0]
+	for i := 0; i < g.opts.Population && i < len(all); i++ {
+		g.pop = append(g.pop, all[i].m)
+		g.scores = append(g.scores, all[i].f)
+	}
+}
+
+// Run executes the given number of generations and returns the best
+// matrix found together with its fitness.
+func (g *GA) Run(generations int) (Matrix, float64) {
+	for i := 0; i < generations; i++ {
+		g.Step()
+	}
+	return g.Best()
+}
+
+// Best returns the highest-fitness member of the current population.
+func (g *GA) Best() (Matrix, float64) {
+	bi := 0
+	for i := range g.scores {
+		if g.scores[i] > g.scores[bi] {
+			bi = i
+		}
+	}
+	return g.pop[bi], g.scores[bi]
+}
+
+// Population returns the current population (borrowed; callers must clone
+// before mutating). PolluxSched saves it to bootstrap the next interval.
+func (g *GA) Population() []Matrix {
+	return g.pop
+}
+
+// mutate applies the paper's mutation: each element with probability 1/N
+// (N = number of nodes) is set to a uniform random integer in [0, cap_n].
+func (g *GA) mutate(m Matrix) {
+	nodes := len(g.prob.Capacity)
+	if nodes == 0 {
+		return
+	}
+	p := 1.0 / float64(nodes)
+	for j := range m {
+		for n := range m[j] {
+			if g.rng.Float64() < p {
+				m[j][n] = g.rng.Intn(g.prob.Capacity[n] + 1)
+			}
+		}
+	}
+}
+
+// crossover mixes rows of two parents uniformly at random.
+func (g *GA) crossover(a, b Matrix) Matrix {
+	c := NewMatrix(g.prob.Jobs, len(g.prob.Capacity))
+	for j := range c {
+		src := a
+		if g.rng.Intn(2) == 1 {
+			src = b
+		}
+		copy(c[j], src[j])
+	}
+	return c
+}
+
+// tournament returns the index of the fittest among Tournament randomly
+// chosen population members.
+func (g *GA) tournament() int {
+	best := g.rng.Intn(len(g.pop))
+	for i := 1; i < g.opts.Tournament; i++ {
+		c := g.rng.Intn(len(g.pop))
+		if g.scores[c] > g.scores[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// repair restores feasibility: per-node GPU capacity first, then (if
+// enabled) the interference-avoidance constraint.
+func (g *GA) repair(m Matrix) {
+	RepairCapacity(m, g.prob.Capacity, g.rng)
+	if g.prob.InterferenceAvoidance {
+		RepairInterference(m, g.rng)
+	}
+}
+
+// RepairCapacity decrements random positive elements within over-capacity
+// columns until every node's allocation fits its GPU capacity, as in the
+// paper's repair operation.
+func RepairCapacity(m Matrix, capacity []int, rng *rand.Rand) {
+	for n := range capacity {
+		over := m.NodeUsage(n) - capacity[n]
+		for over > 0 {
+			// Pick a random job with GPUs on this node.
+			candidates := candidates(m, n)
+			j := candidates[rng.Intn(len(candidates))]
+			m[j][n]--
+			over--
+		}
+	}
+}
+
+func candidates(m Matrix, n int) []int {
+	var out []int
+	for j := range m {
+		if m[j][n] > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RepairInterference removes distributed jobs (spanning > 1 node) from
+// nodes shared with other distributed jobs, until each node hosts at most
+// one distributed job (Sec. 4.2.1, interference avoidance). Removal zeroes
+// the evicted job's allocation on that node, which may itself change which
+// jobs count as distributed, so the scan repeats until stable.
+func RepairInterference(m Matrix, rng *rand.Rand) {
+	if len(m) == 0 {
+		return
+	}
+	nodes := len(m[0])
+	for changed := true; changed; {
+		changed = false
+		for n := 0; n < nodes; n++ {
+			var dist []int
+			for j := range m {
+				if m[j][n] > 0 && m.JobNodes(j) > 1 {
+					dist = append(dist, j)
+				}
+			}
+			for len(dist) > 1 {
+				// Evict a random distributed job from this node,
+				// keeping the others.
+				i := rng.Intn(len(dist))
+				m[dist[i]][n] = 0
+				dist = append(dist[:i], dist[i+1:]...)
+				changed = true
+			}
+		}
+	}
+}
+
+// Feasible reports whether m satisfies node capacities and, optionally,
+// the interference-avoidance constraint. It is used by tests and by
+// defensive checks in the scheduler.
+func Feasible(m Matrix, capacity []int, avoidance bool) bool {
+	for n := range capacity {
+		if m.NodeUsage(n) > capacity[n] {
+			return false
+		}
+	}
+	if avoidance {
+		for n := range capacity {
+			dist := 0
+			for j := range m {
+				if m[j][n] > 0 && m.JobNodes(j) > 1 {
+					dist++
+				}
+			}
+			if dist > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

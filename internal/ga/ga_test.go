@@ -1,0 +1,287 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if len(m) != 3 || len(m[0]) != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", len(m), len(m[0]))
+	}
+	for j := range m {
+		for n := range m[j] {
+			if m[j][n] != 0 {
+				t.Errorf("m[%d][%d] = %d, want 0", j, n, m[j][n])
+			}
+		}
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m[0][0] = 5
+	c := m.Clone()
+	c[0][0] = 9
+	if m[0][0] != 5 {
+		t.Error("clone shares backing storage with original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone not equal to original")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := Matrix{{2, 0, 1}, {0, 3, 0}}
+	if g := m.JobGPUs(0); g != 3 {
+		t.Errorf("JobGPUs(0) = %d, want 3", g)
+	}
+	if n := m.JobNodes(0); n != 2 {
+		t.Errorf("JobNodes(0) = %d, want 2", n)
+	}
+	if n := m.JobNodes(1); n != 1 {
+		t.Errorf("JobNodes(1) = %d, want 1", n)
+	}
+	if u := m.NodeUsage(1); u != 3 {
+		t.Errorf("NodeUsage(1) = %d, want 3", u)
+	}
+	if u := m.NodeUsage(0); u != 2 {
+		t.Errorf("NodeUsage(0) = %d, want 2", u)
+	}
+}
+
+func TestMatrixEqual(t *testing.T) {
+	a := Matrix{{1, 2}, {3, 4}}
+	b := Matrix{{1, 2}, {3, 4}}
+	c := Matrix{{1, 2}, {3, 5}}
+	if !a.Equal(b) {
+		t.Error("equal matrices reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("unequal matrices reported equal")
+	}
+	if a.Equal(Matrix{{1, 2}}) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+func TestRepairCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Matrix{{4, 0}, {4, 0}, {0, 2}}
+	capacity := []int{4, 4}
+	RepairCapacity(m, capacity, rng)
+	if m.NodeUsage(0) > 4 {
+		t.Errorf("node 0 still over capacity: %d", m.NodeUsage(0))
+	}
+	if m.NodeUsage(1) != 2 {
+		t.Errorf("node 1 usage changed: %d, want 2", m.NodeUsage(1))
+	}
+	// Total GPUs on node 0 must have been reduced by exactly the excess.
+	if got := m.NodeUsage(0); got != 4 {
+		t.Errorf("node 0 usage = %d, want exactly 4", got)
+	}
+}
+
+func TestRepairInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Jobs 0 and 1 are both distributed and share node 1.
+	m := Matrix{
+		{2, 2, 0},
+		{0, 2, 2},
+		{0, 1, 0}, // single-node job, allowed to share
+	}
+	RepairInterference(m, rng)
+	if !Feasible(m, []int{8, 8, 8}, true) {
+		t.Errorf("interference constraint not repaired: %v", m)
+	}
+	// Single-node job must be untouched.
+	if m[2][1] != 1 {
+		t.Errorf("single-node job modified: %v", m[2])
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	capacity := []int{4, 4}
+	if !Feasible(Matrix{{4, 0}, {0, 4}}, capacity, true) {
+		t.Error("feasible matrix reported infeasible")
+	}
+	if Feasible(Matrix{{5, 0}}, capacity, false) {
+		t.Error("over-capacity matrix reported feasible")
+	}
+	// Two distributed jobs sharing node 0.
+	shared := Matrix{{2, 2}, {1, 1}}
+	if Feasible(shared, []int{4, 4}, true) {
+		t.Error("interference violation reported feasible")
+	}
+	if !Feasible(shared, []int{4, 4}, false) {
+		t.Error("same matrix should be feasible without avoidance")
+	}
+}
+
+// Property: after repair, any random matrix satisfies capacity and the
+// interference constraint.
+func TestRepairProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := 1 + rng.Intn(8)
+		nodes := 1 + rng.Intn(6)
+		capacity := make([]int, nodes)
+		for n := range capacity {
+			capacity[n] = 1 + rng.Intn(4)
+		}
+		m := NewMatrix(jobs, nodes)
+		for j := 0; j < jobs; j++ {
+			for n := 0; n < nodes; n++ {
+				m[j][n] = rng.Intn(6)
+			}
+		}
+		RepairCapacity(m, capacity, rng)
+		RepairInterference(m, rng)
+		return Feasible(m, capacity, true)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// simpleFitness rewards total allocated GPUs with diminishing returns and
+// a mild spread penalty — shaped like the real speedup objective.
+func simpleFitness(m Matrix) float64 {
+	f := 0.0
+	for j := range m {
+		k := float64(m.JobGPUs(j))
+		n := float64(m.JobNodes(j))
+		if k > 0 {
+			f += k / (1 + 0.05*k) * (1 - 0.02*(n-1))
+		}
+	}
+	return f
+}
+
+func TestGAImprovesFitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prob := Problem{
+		Capacity:              []int{4, 4, 4, 4},
+		Jobs:                  6,
+		Fitness:               simpleFitness,
+		InterferenceAvoidance: true,
+	}
+	g := New(prob, Options{Population: 40}, rng, nil)
+	_, before := g.Best()
+	best, after := g.Run(50)
+	if after < before {
+		t.Errorf("fitness decreased: %v -> %v", before, after)
+	}
+	if !Feasible(best, prob.Capacity, true) {
+		t.Errorf("best matrix infeasible: %v", best)
+	}
+	// With 16 GPUs and 6 jobs the optimum allocates every GPU.
+	total := 0
+	for j := range best {
+		total += best.JobGPUs(j)
+	}
+	if total < 14 {
+		t.Errorf("GA left too many GPUs idle: allocated %d of 16", total)
+	}
+}
+
+func TestGAPopulationFeasibleEveryGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prob := Problem{
+		Capacity:              []int{2, 3, 4},
+		Jobs:                  5,
+		Fitness:               simpleFitness,
+		InterferenceAvoidance: true,
+	}
+	g := New(prob, Options{Population: 20}, rng, nil)
+	for gen := 0; gen < 10; gen++ {
+		g.Step()
+		for i, m := range g.Population() {
+			if !Feasible(m, prob.Capacity, true) {
+				t.Fatalf("gen %d member %d infeasible: %v", gen, i, m)
+			}
+		}
+	}
+}
+
+func TestGASeedsCarryOver(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	prob := Problem{
+		Capacity: []int{4, 4},
+		Jobs:     2,
+		Fitness:  simpleFitness,
+	}
+	seed := Matrix{{4, 0}, {0, 4}} // the optimum for this fitness shape
+	g := New(prob, Options{Population: 10}, rng, []Matrix{seed})
+	best, _ := g.Best()
+	if !best.Equal(seed) {
+		t.Errorf("seeded optimum not retained as best: %v", best)
+	}
+}
+
+func TestGASeedsWrongShapeIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	prob := Problem{Capacity: []int{4, 4}, Jobs: 2, Fitness: simpleFitness}
+	bad := Matrix{{1, 1, 1}} // wrong shape
+	g := New(prob, Options{Population: 5}, rng, []Matrix{bad})
+	for _, m := range g.Population() {
+		if len(m) != 2 || len(m[0]) != 2 {
+			t.Fatalf("population contains wrong-shape matrix: %v", m)
+		}
+	}
+}
+
+func TestGAZeroMatrixAlwaysInInitialPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prob := Problem{Capacity: []int{1}, Jobs: 3, Fitness: simpleFitness}
+	g := New(prob, Options{Population: 8}, rng, nil)
+	found := false
+	zero := NewMatrix(3, 1)
+	for _, m := range g.Population() {
+		if m.Equal(zero) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("zero matrix missing from initial population")
+	}
+}
+
+func TestGADeterministicGivenSeed(t *testing.T) {
+	run := func() Matrix {
+		rng := rand.New(rand.NewSource(99))
+		prob := Problem{
+			Capacity: []int{4, 4, 4},
+			Jobs:     4,
+			Fitness:  simpleFitness,
+		}
+		g := New(prob, Options{Population: 20}, rng, nil)
+		best, _ := g.Run(20)
+		return best
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Errorf("GA not deterministic for fixed seed:\n%v\n%v", a, b)
+	}
+}
+
+func TestGARespectsScarcity(t *testing.T) {
+	// More jobs than GPUs: repaired allocations never exceed capacity and
+	// fitness still improves by giving GPUs to someone.
+	rng := rand.New(rand.NewSource(13))
+	prob := Problem{
+		Capacity: []int{2},
+		Jobs:     5,
+		Fitness:  simpleFitness,
+	}
+	g := New(prob, Options{Population: 16}, rng, nil)
+	best, f := g.Run(30)
+	if !Feasible(best, prob.Capacity, false) {
+		t.Fatalf("infeasible best: %v", best)
+	}
+	if f <= 0 {
+		t.Errorf("fitness = %v, want > 0 (GPUs should be used)", f)
+	}
+}

@@ -1,0 +1,36 @@
+package gns
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFromReplicas(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	local := make([][]float64, 8)
+	for r := range local {
+		g := make([]float64, 1024)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		local[r] = g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromReplicas(local, 64)
+	}
+}
+
+func BenchmarkDiffEstimator(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := make([]float64, 1024)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	d := NewDiffEstimator(128)
+	d.Update(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Update(g)
+	}
+}

@@ -1,0 +1,165 @@
+// Package metrics provides the job-completion-time statistics used
+// throughout the Pollux paper's evaluation: average and percentile JCT,
+// makespan, and helpers for averaging results across repeated traces
+// (Sec. 5.3 repeats every experiment over 8 generated traces).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates one scheduling run.
+type Summary struct {
+	Completed int
+	Total     int
+	AvgJCT    float64 // seconds
+	P50JCT    float64
+	P99JCT    float64
+	Makespan  float64 // seconds from first submission to last completion
+
+	// AvgEfficiency is the time-and-job-weighted mean statistical
+	// efficiency across running jobs (the ~91% vs ~74% comparison in
+	// Sec. 5.2.1).
+	AvgEfficiency float64
+	// AvgThroughputX and AvgGoodputX are optional relative factors
+	// filled in by comparison helpers.
+	AvgThroughputX float64
+	AvgGoodputX    float64
+}
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation between order statistics. It panics on empty input or
+// out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summarize computes a Summary from per-job completion times.
+type JobRecord struct {
+	Submit float64
+	Finish float64 // 0 when not completed
+}
+
+// Summarize builds JCT statistics from job records. Jobs that never
+// finished are excluded from the JCT stats but counted in Total.
+func Summarize(records []JobRecord) Summary {
+	var jcts []float64
+	first := math.Inf(1)
+	last := 0.0
+	completed := 0
+	for _, r := range records {
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Finish > 0 {
+			completed++
+			jcts = append(jcts, r.Finish-r.Submit)
+			if r.Finish > last {
+				last = r.Finish
+			}
+		}
+	}
+	s := Summary{Completed: completed, Total: len(records)}
+	if completed > 0 {
+		s.AvgJCT = Mean(jcts)
+		s.P50JCT = Percentile(jcts, 50)
+		s.P99JCT = Percentile(jcts, 99)
+		s.Makespan = last - first
+	}
+	return s
+}
+
+// Average element-wise averages summaries from repeated traces.
+func Average(runs []Summary) Summary {
+	if len(runs) == 0 {
+		return Summary{}
+	}
+	var out Summary
+	n := float64(len(runs))
+	for _, r := range runs {
+		out.Completed += r.Completed
+		out.Total += r.Total
+		out.AvgJCT += r.AvgJCT / n
+		out.P50JCT += r.P50JCT / n
+		out.P99JCT += r.P99JCT / n
+		out.Makespan += r.Makespan / n
+		out.AvgEfficiency += r.AvgEfficiency / n
+	}
+	return out
+}
+
+// Hours formats a duration in seconds as fractional hours, e.g. "1.2h".
+func Hours(seconds float64) string {
+	return fmt.Sprintf("%.1fh", seconds/3600)
+}
+
+// Table renders rows of cells with aligned columns for experiment output.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,349 @@
+package opt
+
+import (
+	"math"
+)
+
+// Bounds describes per-coordinate box constraints for LBFGSB. A coordinate
+// with Lower[i] == Upper[i] is frozen at that value, which is how the
+// Pollux agent imposes its prior-driven exploration constraints (Sec. 4.1:
+// e.g. alpha_sync is pinned to zero until multi-GPU placements have been
+// observed).
+type Bounds struct {
+	Lower []float64
+	Upper []float64
+}
+
+// Clamp projects x onto the box in place.
+func (b Bounds) Clamp(x []float64) {
+	for i := range x {
+		if x[i] < b.Lower[i] {
+			x[i] = b.Lower[i]
+		}
+		if x[i] > b.Upper[i] {
+			x[i] = b.Upper[i]
+		}
+	}
+}
+
+// contains reports whether x is inside (or on) the box.
+func (b Bounds) contains(x []float64) bool {
+	for i := range x {
+		if x[i] < b.Lower[i] || x[i] > b.Upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LBFGSBOptions configures the box-constrained L-BFGS minimizer.
+type LBFGSBOptions struct {
+	// MaxIter bounds the number of outer iterations. Default 200.
+	MaxIter int
+	// History is the number of (s, y) correction pairs kept. Default 8.
+	History int
+	// GradTol terminates when the infinity-norm of the projected gradient
+	// falls below it. Default 1e-8.
+	GradTol float64
+	// FuncTol terminates when the relative improvement in f falls below
+	// it. Default 1e-12.
+	FuncTol float64
+	// GradEps is the step used for numerical gradients when no analytic
+	// gradient is supplied. Default 1e-6.
+	GradEps float64
+}
+
+func (o *LBFGSBOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.History <= 0 {
+		o.History = 8
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-8
+	}
+	if o.FuncTol <= 0 {
+		o.FuncTol = 1e-12
+	}
+	if o.GradEps <= 0 {
+		o.GradEps = 1e-6
+	}
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X     []float64 // minimizer found
+	F     float64   // objective value at X
+	Iters int       // outer iterations performed
+	Evals int       // objective evaluations performed
+}
+
+// NumGrad computes a central-difference numerical gradient of f at x,
+// respecting the box: coordinates at a bound use a one-sided difference.
+// The returned eval count is the number of calls made to f.
+func NumGrad(f func([]float64) float64, x []float64, b Bounds, eps float64) (grad []float64, evals int) {
+	n := len(x)
+	grad = make([]float64, n)
+	xw := make([]float64, n)
+	copy(xw, x)
+	for i := 0; i < n; i++ {
+		h := eps * math.Max(1, math.Abs(x[i]))
+		lo, hi := x[i]-h, x[i]+h
+		if lo < b.Lower[i] {
+			lo = b.Lower[i]
+		}
+		if hi > b.Upper[i] {
+			hi = b.Upper[i]
+		}
+		if hi == lo {
+			grad[i] = 0
+			continue
+		}
+		xw[i] = hi
+		fhi := f(xw)
+		xw[i] = lo
+		flo := f(xw)
+		xw[i] = x[i]
+		grad[i] = (fhi - flo) / (hi - lo)
+		evals += 2
+	}
+	return grad, evals
+}
+
+// LBFGSB minimizes f subject to box constraints using a projected L-BFGS
+// iteration with Armijo backtracking along the projected path. If grad is
+// nil, central-difference numerical gradients are used. x0 is not modified.
+//
+// This is a deliberately compact reimplementation of the behaviour Pollux
+// relies on from L-BFGS-B: minimize a smooth loss over a box, with some
+// coordinates possibly frozen (lower == upper).
+func LBFGSB(f func([]float64) float64, grad func([]float64) []float64, x0 []float64, b Bounds, opts LBFGSBOptions) Result {
+	opts.defaults()
+	n := len(x0)
+	if len(b.Lower) != n || len(b.Upper) != n {
+		panic("opt: bounds dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, x0)
+	b.Clamp(x)
+
+	evals := 0
+	eval := func(v []float64) float64 {
+		evals++
+		return f(v)
+	}
+	gradient := func(v []float64) []float64 {
+		if grad != nil {
+			return grad(v)
+		}
+		g, e := NumGrad(f, v, b, opts.GradEps)
+		evals += e
+		return g
+	}
+
+	fx := eval(x)
+	g := gradient(x)
+
+	// L-BFGS history ring buffers.
+	type pair struct{ s, y []float64 }
+	hist := make([]pair, 0, opts.History)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+
+	iter := 0
+	for ; iter < opts.MaxIter; iter++ {
+		if projGradNorm(x, g, b) < opts.GradTol {
+			break
+		}
+
+		// Two-loop recursion for dir = -H*g.
+		copy(dir, g)
+		alphas := make([]float64, len(hist))
+		for i := len(hist) - 1; i >= 0; i-- {
+			p := hist[i]
+			rho := 1 / dot(p.y, p.s)
+			alphas[i] = rho * dot(p.s, dir)
+			axpy(dir, p.y, -alphas[i])
+		}
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			scale := dot(last.s, last.y) / dot(last.y, last.y)
+			for i := range dir {
+				dir[i] *= scale
+			}
+		}
+		for i := 0; i < len(hist); i++ {
+			p := hist[i]
+			rho := 1 / dot(p.y, p.s)
+			beta := rho * dot(p.y, dir)
+			axpy(dir, p.s, alphas[i]-beta)
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		// Project out direction components that point outside the box at
+		// active bounds; otherwise they dominate the step, get clipped by
+		// the projection, and stall the line search.
+		projectDirection(dir, x, b)
+		// Ensure descent; fall back to projected steepest descent.
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			projectDirection(dir, x, b)
+		}
+
+		// Backtracking line search along the projected path
+		// P(x + t*dir). If the quasi-Newton direction stalls, retry
+		// once with projected steepest descent.
+		fNew, improved := lineSearch(eval, x, dir, g, fx, xNew, b)
+		if !improved {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			projectDirection(dir, x, b)
+			fNew, improved = lineSearch(eval, x, dir, g, fx, xNew, b)
+			if improved {
+				hist = hist[:0] // quasi-Newton model was bad; reset
+			}
+		}
+		if !improved {
+			break
+		}
+
+		gn := gradient(xNew)
+		copy(gNew, gn)
+
+		// Update history with s = xNew - x, y = gNew - g.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+		}
+		if sy := dot(s, y); sy > 1e-12 {
+			if len(hist) == opts.History {
+				copy(hist, hist[1:])
+				hist = hist[:opts.History-1]
+			}
+			hist = append(hist, pair{s, y})
+		}
+
+		rel := math.Abs(fx-fNew) / math.Max(1, math.Abs(fx))
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		if rel < opts.FuncTol {
+			// A vanishing step with a large projected gradient means the
+			// quasi-Newton direction was degenerate (its useful component
+			// got projected away at an active bound), not that we have
+			// converged. Reset to steepest descent and keep going.
+			if projGradNorm(x, g, b) > math.Sqrt(opts.GradTol) && len(hist) > 0 {
+				hist = hist[:0]
+				continue
+			}
+			iter++
+			break
+		}
+	}
+	return Result{X: x, F: fx, Iters: iter, Evals: evals}
+}
+
+// lineSearch backtracks along the projected path P(x + t*dir) until the
+// Armijo condition holds, measured against the actual projected
+// displacement. On success the accepted point is left in xNew.
+func lineSearch(eval func([]float64) float64, x, dir, g []float64, fx float64, xNew []float64, b Bounds) (fNew float64, ok bool) {
+	const c1 = 1e-4
+	t := 1.0
+	for ls := 0; ls < 40; ls++ {
+		moved := false
+		for i := range xNew {
+			xNew[i] = x[i] + t*dir[i]
+		}
+		b.Clamp(xNew)
+		for i := range xNew {
+			if xNew[i] != x[i] {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return fx, false
+		}
+		fNew = eval(xNew)
+		dec := 0.0
+		for i := range xNew {
+			dec += g[i] * (xNew[i] - x[i])
+		}
+		if fNew <= fx+c1*dec && fNew < fx {
+			return fNew, true
+		}
+		t *= 0.5
+	}
+	return fx, false
+}
+
+// projectDirection zeroes components of dir that point outside the box at
+// coordinates sitting on an active bound.
+func projectDirection(dir, x []float64, b Bounds) {
+	for i := range dir {
+		if x[i] <= b.Lower[i] && dir[i] < 0 {
+			dir[i] = 0
+		}
+		if x[i] >= b.Upper[i] && dir[i] > 0 {
+			dir[i] = 0
+		}
+	}
+}
+
+// projGradNorm returns the infinity norm of the projected gradient: the
+// gradient with components pointing out of the box at active bounds zeroed.
+func projGradNorm(x, g []float64, b Bounds) float64 {
+	norm := 0.0
+	for i := range x {
+		gi := g[i]
+		if x[i] <= b.Lower[i] && gi > 0 {
+			gi = 0
+		}
+		if x[i] >= b.Upper[i] && gi < 0 {
+			gi = 0
+		}
+		if a := math.Abs(gi); a > norm {
+			norm = a
+		}
+	}
+	return norm
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes dst += a*scale element-wise.
+func axpy(dst, a []float64, scale float64) {
+	for i := range dst {
+		dst[i] += a[i] * scale
+	}
+}
+
+// MultiStart runs LBFGSB from each starting point and returns the best
+// result. Throughput-model fitting uses a handful of heuristic starts to
+// avoid poor local minima in the RMSLE landscape.
+func MultiStart(f func([]float64) float64, starts [][]float64, b Bounds, opts LBFGSBOptions) Result {
+	best := Result{F: math.Inf(1)}
+	for _, s := range starts {
+		r := LBFGSB(f, nil, s, b, opts)
+		if r.F < best.F {
+			best = r
+		}
+		best.Evals += r.Evals
+	}
+	return best
+}

@@ -1,0 +1,32 @@
+package sched
+
+import "testing"
+
+func BenchmarkPolluxScheduleInterval(b *testing.B) {
+	// One full scheduling interval at paper-like GA settings over a
+	// moderately loaded cluster: the hot path of the whole system.
+	v := viewWith(20, 16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPollux(PolluxOptions{Population: 50, Generations: 30}, int64(i))
+		p.Schedule(v)
+	}
+}
+
+func BenchmarkTiresiasSchedule(b *testing.B) {
+	v := viewWith(20, 16, 4)
+	t := NewTiresias()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Schedule(v)
+	}
+}
+
+func BenchmarkOptimusSchedule(b *testing.B) {
+	v := viewWith(20, 16, 4)
+	o := NewOptimus(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Schedule(v)
+	}
+}

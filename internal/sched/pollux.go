@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+)
+
+// PolluxOptions tunes PolluxSched. Zero values take the paper's defaults
+// (Sec. 5.1): 100 generations over a population of 100 each interval,
+// restart penalty 0.25, GPU-time threshold 4 GPU-hours with λ = 0.5, and
+// interference avoidance enabled.
+type PolluxOptions struct {
+	Population     int
+	Generations    int
+	RestartPenalty float64
+	// GPUTimeThres is in GPU-seconds; weights decay for jobs beyond it
+	// (Eqn. 16). Lambda is the decay exponent; Lambda = 0 disables
+	// weighting entirely (all weights 1).
+	GPUTimeThres float64
+	Lambda       float64
+	// DisableInterferenceAvoidance turns off the Sec. 4.2.1 constraint
+	// (used by the Fig. 9 ablation).
+	DisableInterferenceAvoidance bool
+}
+
+func (o *PolluxOptions) defaults() {
+	if o.Population <= 0 {
+		o.Population = 100
+	}
+	if o.Generations <= 0 {
+		o.Generations = 100
+	}
+	if o.RestartPenalty == 0 {
+		o.RestartPenalty = 0.25
+	}
+	if o.GPUTimeThres == 0 {
+		o.GPUTimeThres = 4 * 3600 // 4 GPU-hours
+	}
+}
+
+// Pollux is the co-adaptive scheduler (Sec. 4.2). It keeps its GA
+// population between scheduling intervals to bootstrap the next
+// optimization, keyed by job ID so rows survive arrivals and departures.
+type Pollux struct {
+	opts PolluxOptions
+	rng  *rand.Rand
+
+	prevPop  []ga.Matrix
+	prevJobs []int // job IDs aligned with prevPop rows
+}
+
+// NewPollux creates a PolluxSched instance with its own deterministic RNG.
+func NewPollux(opts PolluxOptions, seed int64) *Pollux {
+	opts.defaults()
+	return &Pollux{opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *Pollux) Name() string          { return "pollux" }
+func (p *Pollux) AdaptsBatchSize() bool { return true }
+
+// speedupTable lazily memoizes SPEEDUP_j(K, N) per job. Fitness evaluation
+// touches the same few placements thousands of times per interval; the
+// underlying golden-section searches are far too slow to repeat.
+type speedupTable struct {
+	model  core.Model
+	gpuCap int
+	denom  float64 // max_m GOODPUT(1, m)
+	cells  []float64
+	nodes  int
+	maxK   int
+}
+
+func newSpeedupTable(model core.Model, gpuCap, maxK, nodes int) *speedupTable {
+	t := &speedupTable{model: model, gpuCap: gpuCap, nodes: nodes, maxK: maxK}
+	t.cells = make([]float64, (maxK+1)*(nodes+1))
+	for i := range t.cells {
+		t.cells[i] = -1
+	}
+	if _, d, ok := model.OptimalBatch(core.SingleGPU); ok {
+		t.denom = d
+	}
+	return t
+}
+
+// Speedup returns SPEEDUP for (K GPUs, N nodes), honoring the exploration
+// cap: allocations beyond the cap score zero, which makes them strictly
+// worse than pausing plus reallocating those GPUs elsewhere.
+func (t *speedupTable) Speedup(k, n int) float64 {
+	if k <= 0 || t.denom <= 0 {
+		return 0
+	}
+	if k > t.gpuCap || k > t.maxK || n > t.nodes {
+		return 0
+	}
+	idx := k*(t.nodes+1) + n
+	if v := t.cells[idx]; v >= 0 {
+		return v
+	}
+	v := 0.0
+	if _, num, ok := t.model.OptimalBatch(core.Placement{GPUs: k, Nodes: n}); ok {
+		v = num / t.denom
+	}
+	t.cells[idx] = v
+	return v
+}
+
+// Schedule runs the genetic algorithm over allocation matrices and
+// returns the fittest (Eqn. 14), carrying the population over to the next
+// interval.
+func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
+	jobs := v.Jobs
+	nJobs := len(jobs)
+	if nJobs == 0 {
+		p.prevPop, p.prevJobs = nil, nil
+		return ga.NewMatrix(0, len(v.Capacity))
+	}
+	maxK := v.TotalGPUs()
+
+	tables := make([]*speedupTable, nJobs)
+	weights := make([]float64, nJobs)
+	for i, j := range jobs {
+		tables[i] = newSpeedupTable(j.Model, j.GPUCap, maxK, len(v.Capacity))
+		weights[i] = p.weight(j.GPUTime)
+	}
+
+	// Restart detection against the currently applied allocation.
+	curPlacement := make([]core.Placement, nJobs)
+	for i := range jobs {
+		if v.Current != nil && i < len(v.Current) {
+			curPlacement[i] = PlacementOf(v.Current[i])
+		}
+	}
+
+	sumW := 0.0
+	for _, w := range weights {
+		sumW += w
+	}
+	if sumW == 0 {
+		sumW = 1
+	}
+
+	fitness := func(m ga.Matrix) float64 {
+		total := 0.0
+		for i := range m {
+			pl := PlacementOf(m[i])
+			s := tables[i].Speedup(pl.GPUs, pl.Nodes)
+			if curPlacement[i].GPUs > 0 && !samePlacementRow(m[i], v.Current[i]) {
+				s -= p.opts.RestartPenalty
+			}
+			total += weights[i] * s
+		}
+		return total / sumW
+	}
+
+	prob := ga.Problem{
+		Capacity:              v.Capacity,
+		Jobs:                  nJobs,
+		Fitness:               fitness,
+		InterferenceAvoidance: !p.opts.DisableInterferenceAvoidance,
+	}
+
+	seeds := p.remapSeeds(jobs, len(v.Capacity))
+	// Always seed the currently applied allocation: keeping everything
+	// in place must be representable so restarts stay justified.
+	if v.Current != nil && len(v.Current) == nJobs {
+		seeds = append([]ga.Matrix{v.Current}, seeds...)
+	}
+	g := ga.New(prob, ga.Options{Population: p.opts.Population}, p.rng, seeds)
+	best, _ := g.Run(p.opts.Generations)
+
+	// Save the population for the next interval.
+	pop := g.Population()
+	p.prevPop = make([]ga.Matrix, len(pop))
+	for i, m := range pop {
+		p.prevPop[i] = m.Clone()
+	}
+	p.prevJobs = make([]int, nJobs)
+	for i, j := range jobs {
+		p.prevJobs[i] = j.ID
+	}
+	return best.Clone()
+}
+
+// ClusterUtility evaluates UTILITY(A) (Eqn. 17) for the cluster reduced
+// to its first `nodes` nodes: a short GA finds a good allocation matrix at
+// that size, and the utility is the sum of job speedups divided by the
+// total GPU count. Used by the Sec. 4.2.2 cloud autoscaling binary search.
+func (p *Pollux) ClusterUtility(v *ClusterView, nodes, generations int) float64 {
+	if nodes <= 0 || len(v.Jobs) == 0 {
+		return 0
+	}
+	if nodes > len(v.Capacity) {
+		nodes = len(v.Capacity)
+	}
+	capacity := v.Capacity[:nodes]
+	totalGPUs := 0
+	for _, c := range capacity {
+		totalGPUs += c
+	}
+	if totalGPUs == 0 {
+		return 0
+	}
+
+	tables := make([]*speedupTable, len(v.Jobs))
+	for i, j := range v.Jobs {
+		tables[i] = newSpeedupTable(j.Model, j.GPUCap, totalGPUs, nodes)
+	}
+	fitness := func(m ga.Matrix) float64 {
+		total := 0.0
+		for i := range m {
+			pl := PlacementOf(m[i])
+			total += tables[i].Speedup(pl.GPUs, pl.Nodes)
+		}
+		return total
+	}
+	g := ga.New(ga.Problem{
+		Capacity:              capacity,
+		Jobs:                  len(v.Jobs),
+		Fitness:               fitness,
+		InterferenceAvoidance: !p.opts.DisableInterferenceAvoidance,
+	}, ga.Options{Population: p.opts.Population / 2}, p.rng, nil)
+	_, best := g.Run(generations)
+	return best / float64(totalGPUs)
+}
+
+// DesiredClusterNodes implements the Sec. 4.2.2 cloud autoscaling
+// decision for a multi-job cluster: binary search (assuming UTILITY
+// decreases with size) for the node count whose utility is closest to the
+// midpoint of [lowUtil, highUtil]. The view's Capacity must describe the
+// cluster at its maximum size.
+func (p *Pollux) DesiredClusterNodes(v *ClusterView, minNodes, maxNodes int, lowUtil, highUtil float64) int {
+	if maxNodes > len(v.Capacity) {
+		maxNodes = len(v.Capacity)
+	}
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	if len(v.Jobs) == 0 {
+		return minNodes
+	}
+	const searchGens = 10
+	target := (lowUtil + highUtil) / 2
+	lo, hi := minNodes, maxNodes
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.ClusterUtility(v, mid, searchGens) >= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best := lo
+	if lo > minNodes {
+		du := diff(p.ClusterUtility(v, lo, searchGens), target)
+		dd := diff(p.ClusterUtility(v, lo-1, searchGens), target)
+		if dd < du {
+			best = lo - 1
+		}
+	}
+	return best
+}
+
+// weight implements Eqn. 16: w_j = min(1, thres/gputime)^λ.
+func (p *Pollux) weight(gpuTime float64) float64 {
+	if p.opts.Lambda == 0 || gpuTime <= p.opts.GPUTimeThres {
+		return 1
+	}
+	return math.Pow(p.opts.GPUTimeThres/gpuTime, p.opts.Lambda)
+}
+
+// remapSeeds rebuilds the previous population for the current job set:
+// rows follow their job IDs; new jobs start with zero rows.
+func (p *Pollux) remapSeeds(jobs []JobView, nodes int) []ga.Matrix {
+	if p.prevPop == nil {
+		return nil
+	}
+	prevIndex := make(map[int]int, len(p.prevJobs))
+	for i, id := range p.prevJobs {
+		prevIndex[id] = i
+	}
+	seeds := make([]ga.Matrix, 0, len(p.prevPop))
+	for _, prev := range p.prevPop {
+		m := ga.NewMatrix(len(jobs), nodes)
+		for i, j := range jobs {
+			if pi, ok := prevIndex[j.ID]; ok && pi < len(prev) && len(prev[pi]) == nodes {
+				copy(m[i], prev[pi])
+			}
+		}
+		seeds = append(seeds, m)
+	}
+	return seeds
+}
+
+func samePlacementRow(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

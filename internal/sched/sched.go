@@ -1,0 +1,148 @@
+// Package sched implements the cluster-wide scheduling policies evaluated
+// in the Pollux paper: PolluxSched itself (Sec. 4.2 — genetic-algorithm
+// goodput optimization with job weights, restart penalties, and
+// interference avoidance), and the two baselines it is compared against,
+// Optimus+Oracle (only-resource-adaptive, marginal-gain greedy on a
+// throughput model with oracle remaining work) and Tiresias+TunedJobs
+// (non-resource-adaptive, discretized least-attained-service with
+// user-fixed GPU counts). The cloud autoscaling policies of Sec. 4.2.2 and
+// Sec. 5.3.3 live in autoscale.go.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+)
+
+// JobView is the scheduler-visible state of one pending or running job.
+// Which fields a policy may consult depends on the policy: Pollux uses the
+// reported goodput Model and GPUCap; Optimus uses the Model's throughput
+// parameters, MinGPUs, and the RemainingIters oracle; Tiresias uses only
+// UserGPUs, GPUTime, and Submit.
+type JobView struct {
+	ID     int
+	Submit float64
+
+	// Model is the goodput function reported by the job's PolluxAgent
+	// (fitted θsys, current φ, m0, batch limits).
+	Model core.Model
+	// GPUCap is the exploration cap (at most 2x lifetime max GPUs).
+	GPUCap int
+
+	// UserGPUs and UserBatch are the job's fixed submission-time
+	// configuration, used by the baseline schedulers.
+	UserGPUs  int
+	UserBatch int
+	// MinGPUs is the fewest GPUs whose combined memory fits UserBatch.
+	MinGPUs int
+	// RemainingIters is the oracle iterations-to-completion at UserBatch
+	// (Sec. 5.2: Optimus+Oracle is given exact remaining work).
+	RemainingIters float64
+
+	// GPUTime is the total GPU-seconds consumed so far (attained
+	// service for Tiresias; weight decay input for Pollux).
+	GPUTime float64
+}
+
+// ClusterView is a snapshot handed to a policy at each scheduling
+// interval.
+type ClusterView struct {
+	Now      float64
+	Capacity []int // GPUs per node
+	Jobs     []JobView
+	// Current is the allocation matrix in effect, with rows aligned to
+	// Jobs (used for restart penalties and placement stability).
+	Current ga.Matrix
+}
+
+// TotalGPUs returns the cluster GPU count.
+func (v *ClusterView) TotalGPUs() int {
+	total := 0
+	for _, c := range v.Capacity {
+		total += c
+	}
+	return total
+}
+
+// Policy computes a new allocation matrix (rows aligned with view.Jobs) at
+// each scheduling interval.
+type Policy interface {
+	Name() string
+	// AdaptsBatchSize reports whether jobs under this policy re-tune
+	// their batch size during training (true only for Pollux).
+	AdaptsBatchSize() bool
+	Schedule(v *ClusterView) ga.Matrix
+}
+
+// PlacementOf summarizes an allocation row.
+func PlacementOf(row []int) core.Placement {
+	k, n := 0, 0
+	for _, g := range row {
+		k += g
+		if g > 0 {
+			n++
+		}
+	}
+	return core.Placement{GPUs: k, Nodes: n}
+}
+
+// packJob places g GPUs for one job onto the nodes with the most free
+// GPUs, minimizing the number of nodes spanned (the co-location preference
+// shared by all three schedulers). It mutates free and returns the
+// per-node allocation, or nil if fewer than g GPUs are free in total.
+func packJob(free []int, g int) []int {
+	total := 0
+	for _, f := range free {
+		total += f
+	}
+	if g <= 0 || total < g {
+		return nil
+	}
+	row := make([]int, len(free))
+	// Repeatedly take from the node with the most free GPUs.
+	remaining := g
+	for remaining > 0 {
+		best := -1
+		for n, f := range free {
+			if f > 0 && (best < 0 || f > free[best]) {
+				best = n
+			}
+		}
+		take := free[best]
+		if take > remaining {
+			take = remaining
+		}
+		row[best] += take
+		free[best] -= take
+		remaining -= take
+	}
+	return row
+}
+
+// packAll builds an allocation matrix by packing per-job GPU counts in
+// descending size order (large jobs first reduces fragmentation and node
+// spread). demands maps job index to GPU count; jobs with zero demand get
+// empty rows.
+func packAll(capacity []int, demands []int) ga.Matrix {
+	free := make([]int, len(capacity))
+	copy(free, capacity)
+	m := ga.NewMatrix(len(demands), len(capacity))
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return demands[order[a]] > demands[order[b]] })
+	for _, j := range order {
+		if demands[j] <= 0 {
+			continue
+		}
+		row := packJob(free, demands[j])
+		if row == nil {
+			continue
+		}
+		copy(m[j], row)
+	}
+	return m
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/ga"
+)
+
+// Tiresias implements the non-resource-adaptive baseline (Sec. 2.3,
+// Sec. 5.2 "Tiresias+TunedJobs"): a discretized two-dimensional
+// least-attained-service scheduler. Jobs are grouped into priority queues
+// by attained GPU-time service; lower attained service means higher
+// priority, preventing head-of-line blocking by large jobs. Within a
+// queue, jobs run in submission order. Each job always receives exactly
+// the GPU count its user requested, co-located onto as few nodes as
+// possible; jobs that do not fit are skipped (backfilling smaller jobs).
+type Tiresias struct {
+	// QueueThresholds are attained-service boundaries in GPU-seconds;
+	// defaults are 1 and 10 GPU-hours, giving three queues.
+	QueueThresholds []float64
+}
+
+// NewTiresias creates the baseline with the default queue discretization.
+func NewTiresias() *Tiresias {
+	return &Tiresias{QueueThresholds: []float64{1 * 3600, 10 * 3600}}
+}
+
+func (t *Tiresias) Name() string          { return "tiresias" }
+func (t *Tiresias) AdaptsBatchSize() bool { return false }
+
+// queueOf returns the priority-queue index for a job (0 is highest).
+func (t *Tiresias) queueOf(attained float64) int {
+	for q, thr := range t.QueueThresholds {
+		if attained < thr {
+			return q
+		}
+	}
+	return len(t.QueueThresholds)
+}
+
+// Schedule allocates user-requested GPU counts in discretized-LAS order.
+func (t *Tiresias) Schedule(v *ClusterView) ga.Matrix {
+	order := make([]int, len(v.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := v.Jobs[order[a]], v.Jobs[order[b]]
+		qa, qb := t.queueOf(ja.GPUTime), t.queueOf(jb.GPUTime)
+		if qa != qb {
+			return qa < qb
+		}
+		return ja.Submit < jb.Submit
+	})
+
+	free := make([]int, len(v.Capacity))
+	copy(free, v.Capacity)
+	m := ga.NewMatrix(len(v.Jobs), len(v.Capacity))
+	for _, i := range order {
+		g := v.Jobs[i].UserGPUs
+		row := packJob(free, g)
+		if row == nil {
+			continue // does not fit; let smaller jobs backfill
+		}
+		copy(m[i], row)
+	}
+	return m
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sched"
+)
+
+// scaledDownImagenet returns a resnet50-like spec with much less total
+// work so autoscaling tests complete quickly, keeping the phi trajectory.
+func scaledDownImagenet() *models.Spec {
+	s := *models.ByName("resnet50")
+	s.Epochs = 2 // ~45x less work than the real 90 epochs
+	return &s
+}
+
+func autoscaleCfg(goodput bool) AutoscaleConfig {
+	return AutoscaleConfig{
+		GPUsPerNode:       4,
+		MinNodes:          1,
+		MaxNodes:          16,
+		Tick:              2,
+		AdaptBatchGoodput: goodput,
+		RespectExploreCap: goodput,
+		MaxTime:           48 * 3600,
+		Seed:              1,
+	}
+}
+
+func TestAutoscaleGoodputCompletes(t *testing.T) {
+	spec := scaledDownImagenet()
+	scaler := sched.NewGoodputAutoscaler(1, 16, 0.55, 0.75)
+	res := RunAutoscale(spec, scaler, autoscaleCfg(true))
+	if !res.Completed {
+		t.Fatal("goodput autoscaled training did not complete")
+	}
+	if res.CostNodeSeconds <= 0 {
+		t.Error("no cost accounted")
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no time series recorded")
+	}
+}
+
+func TestAutoscaleGoodputRampsUp(t *testing.T) {
+	spec := scaledDownImagenet()
+	scaler := sched.NewGoodputAutoscaler(1, 16, 0.55, 0.75)
+	res := RunAutoscale(spec, scaler, autoscaleCfg(true))
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	// Fig. 10a shape: starts small, ends big.
+	first := res.Points[0].Nodes
+	last := res.Points[len(res.Points)-1].Nodes
+	if first > 4 {
+		t.Errorf("goodput scaler started with %d nodes, want small start", first)
+	}
+	if last <= first {
+		t.Errorf("goodput scaler did not ramp: first=%d last=%d", first, last)
+	}
+}
+
+func TestAutoscaleThroughputJumpsEarly(t *testing.T) {
+	spec := scaledDownImagenet()
+	scaler := sched.NewThroughputAutoscaler(1, 16, 0.9)
+	res := RunAutoscale(spec, scaler, autoscaleCfg(false))
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	// Fig. 10a: Or et al. reaches a large size almost immediately and
+	// holds it.
+	if len(res.Points) < 2 {
+		t.Fatal("too few samples")
+	}
+	early := res.Points[1].Nodes // after the first decisions
+	if early < 8 {
+		t.Errorf("throughput scaler at %d nodes early, want aggressive scale-out", early)
+	}
+}
+
+func TestAutoscaleGoodputCheaper(t *testing.T) {
+	// The headline Sec. 5.3.3 result: goodput-based autoscaling is
+	// substantially cheaper, at a modest completion-time cost.
+	spec := scaledDownImagenet()
+	good := RunAutoscale(spec, sched.NewGoodputAutoscaler(1, 16, 0.55, 0.75), autoscaleCfg(true))
+	thr := RunAutoscale(spec, sched.NewThroughputAutoscaler(1, 16, 0.9), autoscaleCfg(false))
+	if !good.Completed || !thr.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if good.CostNodeSeconds >= thr.CostNodeSeconds {
+		t.Errorf("goodput cost %v not cheaper than throughput cost %v",
+			good.CostNodeSeconds, thr.CostNodeSeconds)
+	}
+	if good.CompletionTime > 2*thr.CompletionTime {
+		t.Errorf("goodput completion %v more than 2x throughput %v",
+			good.CompletionTime, thr.CompletionTime)
+	}
+}
+
+func TestAutoscaleEfficiencyHigherForGoodput(t *testing.T) {
+	// Fig. 10b: Pollux maintains high statistical efficiency; Or et al.
+	// tanks it early with oversized batches.
+	spec := scaledDownImagenet()
+	good := RunAutoscale(spec, sched.NewGoodputAutoscaler(1, 16, 0.55, 0.75), autoscaleCfg(true))
+	thr := RunAutoscale(spec, sched.NewThroughputAutoscaler(1, 16, 0.9), autoscaleCfg(false))
+	avgEff := func(pts []AutoscalePoint) float64 {
+		s := 0.0
+		for _, p := range pts {
+			s += p.Efficiency
+		}
+		return s / float64(len(pts))
+	}
+	ge, te := avgEff(good.Points), avgEff(thr.Points)
+	if ge <= te {
+		t.Errorf("goodput avg efficiency %v not above throughput %v", ge, te)
+	}
+	if ge < 0.5 {
+		t.Errorf("goodput efficiency %v unexpectedly low", ge)
+	}
+}
+
+func TestAutoscaleRespectsNodeBounds(t *testing.T) {
+	spec := scaledDownImagenet()
+	cfg := autoscaleCfg(true)
+	cfg.MinNodes, cfg.MaxNodes = 2, 6
+	res := RunAutoscale(spec, sched.NewGoodputAutoscaler(2, 6, 0.55, 0.75), cfg)
+	for _, p := range res.Points {
+		if p.Nodes < 2 || p.Nodes > 6 {
+			t.Errorf("t=%v nodes=%d outside [2, 6]", p.Time, p.Nodes)
+		}
+	}
+}
+
+func TestClampBatch(t *testing.T) {
+	spec := models.ByName("resnet50")
+	pl := placementFor(2, 4)
+	if got := clampBatch(spec, 1<<20, pl); got != 8*spec.MaxBatchPerGPU {
+		t.Errorf("clamp to memory: %d, want %d", got, 8*spec.MaxBatchPerGPU)
+	}
+	if got := clampBatch(spec, 1, pl); got != spec.M0 {
+		t.Errorf("clamp up to m0: %d, want %d", got, spec.M0)
+	}
+}
+
+func placementFor(nodes, perNode int) (pl core.Placement) {
+	pl.GPUs = nodes * perNode
+	pl.Nodes = nodes
+	return pl
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// EventKind labels a scheduling-relevant state change in a job's life.
+type EventKind int
+
+const (
+	// EventSubmit fires when the job enters the cluster queue.
+	EventSubmit EventKind = iota
+	// EventAllocate fires when a job's placement changes (including the
+	// first start and pauses to zero GPUs).
+	EventAllocate
+	// EventBatchChange fires when the Pollux agent re-tunes the batch.
+	EventBatchChange
+	// EventFinish fires when the job completes its work.
+	EventFinish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmit:
+		return "submit"
+	case EventAllocate:
+		return "allocate"
+	case EventBatchChange:
+		return "batch"
+	case EventFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry in the simulation's event log.
+type Event struct {
+	Time      float64
+	Job       int // workload job ID
+	Kind      EventKind
+	Placement core.Placement // for EventAllocate
+	Batch     int            // for EventBatchChange
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventAllocate:
+		return fmt.Sprintf("t=%.0fs job=%d allocate %s", e.Time, e.Job, e.Placement)
+	case EventBatchChange:
+		return fmt.Sprintf("t=%.0fs job=%d batch=%d", e.Time, e.Job, e.Batch)
+	default:
+		return fmt.Sprintf("t=%.0fs job=%d %s", e.Time, e.Job, e.Kind)
+	}
+}
+
+// record appends an event when logging is enabled.
+func (c *Cluster) record(e Event) {
+	if !c.cfg.LogEvents {
+		return
+	}
+	c.events = append(c.events, e)
+}

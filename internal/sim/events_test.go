@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogDisabledByDefault(t *testing.T) {
+	tr := smallOnly(smallTrace(31, 6))
+	res := NewCluster(tr, fastPollux(31), fastCfg(31)).Run()
+	if len(res.Events) != 0 {
+		t.Errorf("events recorded without LogEvents: %d", len(res.Events))
+	}
+}
+
+func TestEventLogLifecycle(t *testing.T) {
+	tr := smallOnly(smallTrace(32, 8))
+	if len(tr.Jobs) < 3 {
+		t.Skip("trace too small")
+	}
+	cfg := fastCfg(32)
+	cfg.LogEvents = true
+	res := NewCluster(tr, fastPollux(32), cfg).Run()
+	if res.Summary.Completed != len(tr.Jobs) {
+		t.Fatalf("completed %d of %d", res.Summary.Completed, len(tr.Jobs))
+	}
+
+	// Every job must have exactly one submit and one finish, in order,
+	// with at least one allocation in between.
+	type life struct {
+		submit, finish float64
+		allocs         int
+		batches        int
+	}
+	lives := map[int]*life{}
+	for _, e := range res.Events {
+		l := lives[e.Job]
+		if l == nil {
+			l = &life{submit: -1, finish: -1}
+			lives[e.Job] = l
+		}
+		switch e.Kind {
+		case EventSubmit:
+			if l.submit >= 0 {
+				t.Fatalf("job %d submitted twice", e.Job)
+			}
+			l.submit = e.Time
+		case EventFinish:
+			if l.finish >= 0 {
+				t.Fatalf("job %d finished twice", e.Job)
+			}
+			l.finish = e.Time
+		case EventAllocate:
+			l.allocs++
+			if !e.Placement.Valid() && e.Placement.GPUs != 0 {
+				t.Fatalf("invalid placement event: %+v", e)
+			}
+		case EventBatchChange:
+			l.batches++
+			if e.Batch <= 0 {
+				t.Fatalf("non-positive batch event: %+v", e)
+			}
+		}
+	}
+	for _, j := range tr.Jobs {
+		l := lives[j.ID]
+		if l == nil {
+			t.Fatalf("job %d has no events", j.ID)
+		}
+		if l.submit < 0 || l.finish < 0 {
+			t.Fatalf("job %d missing submit/finish", j.ID)
+		}
+		if l.finish <= l.submit {
+			t.Fatalf("job %d finish %v <= submit %v", j.ID, l.finish, l.submit)
+		}
+		if l.allocs == 0 {
+			t.Fatalf("job %d never allocated", j.ID)
+		}
+	}
+}
+
+func TestEventLogTimesMonotone(t *testing.T) {
+	tr := smallOnly(smallTrace(33, 6))
+	cfg := fastCfg(33)
+	cfg.LogEvents = true
+	res := NewCluster(tr, fastPollux(33), cfg).Run()
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Time < res.Events[i-1].Time {
+			t.Fatalf("event log not time-ordered at %d: %v < %v",
+				i, res.Events[i].Time, res.Events[i-1].Time)
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Time: 10, Job: 3, Kind: EventSubmit}, "submit"},
+		{Event{Time: 20, Job: 3, Kind: EventFinish}, "finish"},
+		{Event{Time: 30, Job: 3, Kind: EventBatchChange, Batch: 512}, "batch=512"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("event string %q missing %q", got, c.want)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown event kind has empty string")
+	}
+}

@@ -1,0 +1,472 @@
+// Package sim is the discrete-time cluster simulator used to evaluate the
+// scheduling policies (Sec. 5.3 of the Pollux paper). It replays the model
+// zoo's ground-truth throughput and gradient-noise-scale behaviour for
+// every job in a trace, while the schedulers observe only what a real
+// deployment would expose: noisy per-iteration timings and gradient
+// statistics profiled by each job's agent.
+//
+// The simulator reproduces the system effects the paper's simulator
+// models: placement-sensitive iteration times, a 30-second
+// checkpoint-restart delay whenever a job's resources are re-allocated,
+// and optional artificial network interference between distributed jobs
+// sharing a node (Sec. 5.3.2).
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	Nodes       int     // number of nodes; default 16
+	GPUsPerNode int     // GPUs per node; default 4
+	Tick        float64 // simulation step in seconds; default 1
+	// SchedInterval is the scheduling period (default 60 s);
+	// AgentInterval the agent report/tune period (default 30 s).
+	SchedInterval float64
+	AgentInterval float64
+	// RestartDelay is the checkpoint-restart pause applied when a job's
+	// allocation changes (default 30 s).
+	RestartDelay float64
+	// InterferenceSlowdown in [0, 1) slows distributed jobs that share a
+	// node with another distributed job (Sec. 5.3.2); 0 disables.
+	InterferenceSlowdown float64
+	// NoiseFrac is the relative measurement noise on profiled iteration
+	// times and noise-scale observations; default 0.05.
+	NoiseFrac float64
+	// UseTunedConfig selects each job's tuned (Sec. 5.2) rather than
+	// user (Sec. 5.3.1) configuration for the baselines. TunedFraction
+	// overrides it when in (0,1]: that fraction of jobs (chosen
+	// randomly) is tuned, the rest user-configured (Fig. 7 mixtures).
+	UseTunedConfig bool
+	TunedFraction  float64
+	// MaxTime caps the simulation (default 14 days).
+	MaxTime float64
+	Seed    int64
+	// Autoscale enables Sec. 4.2.2 multi-job cluster autoscaling: Nodes
+	// then acts as the maximum cluster size and the active size varies.
+	Autoscale *ClusterAutoscaleConfig
+	// LogEvents records a structured event log (submissions,
+	// re-allocations, batch changes, completions) in the Result.
+	LogEvents bool
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.GPUsPerNode <= 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.Tick <= 0 {
+		c.Tick = 1
+	}
+	if c.SchedInterval <= 0 {
+		c.SchedInterval = 60
+	}
+	if c.AgentInterval <= 0 {
+		c.AgentInterval = 30
+	}
+	if c.RestartDelay == 0 {
+		c.RestartDelay = 30
+	}
+	if c.NoiseFrac == 0 {
+		c.NoiseFrac = 0.05
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 14 * 24 * 3600
+	}
+	if c.Autoscale != nil {
+		if c.Autoscale.MaxNodes > c.Nodes || c.Autoscale.MaxNodes <= 0 {
+			c.Autoscale.MaxNodes = c.Nodes
+		}
+		c.Autoscale.defaults(c.SchedInterval)
+	}
+}
+
+// jobState is the simulator's private view of one job.
+type jobState struct {
+	wj       workload.Job
+	spec     *models.Spec
+	agent    *agent.Agent
+	useTuned bool
+
+	batch int
+	alloc []int
+	pl    core.Placement
+
+	submitted    bool
+	done         bool
+	finish       float64
+	restartUntil float64
+	interfered   bool
+
+	progress float64 // m0-equivalent examples completed
+	gpuTime  float64 // GPU-seconds consumed
+
+	// accumulated metrics over running time
+	effSum, runTime  float64
+	tputSum, goodSum float64
+	exampleSum       float64
+}
+
+func (j *jobState) progressFrac() float64 {
+	return j.progress / j.spec.TotalWork()
+}
+
+// fixedBatch returns the baseline batch size for this job (tuned or user).
+func (j *jobState) fixedBatch() (gpus, batch int) {
+	if j.useTuned {
+		return j.wj.TunedGPUs, j.wj.TunedBatch
+	}
+	return j.wj.UserGPUs, j.wj.UserBatch
+}
+
+// Result aggregates one run.
+type Result struct {
+	Summary metrics.Summary
+	// PerJob finishing records aligned with the trace order.
+	Records []metrics.JobRecord
+	// AvgThroughput and AvgGoodput are example-rate means over all
+	// job-running time, for the Sec. 5.2.1 relative comparisons.
+	AvgThroughput float64
+	AvgGoodput    float64
+	// CostNodeSeconds integrates the paid cluster size over the run
+	// (meaningful under cluster autoscaling; otherwise nodes x makespan).
+	CostNodeSeconds float64
+	// PerModel breaks JCT statistics down by zoo model, mirroring the
+	// paper's per-category discussion (Small/Medium/Large/XLarge map
+	// onto models one-to-one except the two Small workloads).
+	PerModel map[string]metrics.Summary
+	// Events is the structured event log (populated when
+	// Config.LogEvents is set).
+	Events []Event
+}
+
+// Cluster simulates one trace under one policy.
+type Cluster struct {
+	cfg    Config
+	policy sched.Policy
+	rng    *rand.Rand
+	jobs   []*jobState
+	now    float64
+
+	// Cluster autoscaling state (Sec. 4.2.2). With autoscaling disabled,
+	// activeNodes stays at cfg.Nodes.
+	activeNodes  int
+	provisioning int
+	provisionAt  float64
+	nodeSeconds  float64
+
+	events []Event
+}
+
+// NewCluster prepares a simulation of the trace under the policy.
+func NewCluster(trace workload.Trace, policy sched.Policy, cfg Config) *Cluster {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Cluster{cfg: cfg, policy: policy, rng: rng, activeNodes: cfg.Nodes}
+	if cfg.Autoscale != nil {
+		c.activeNodes = cfg.Autoscale.MinNodes
+	}
+	for _, wj := range trace.Jobs {
+		spec := models.ByName(wj.Model)
+		if spec == nil {
+			continue
+		}
+		useTuned := cfg.UseTunedConfig
+		if cfg.TunedFraction > 0 {
+			useTuned = rng.Float64() < cfg.TunedFraction
+		}
+		js := &jobState{
+			wj:       wj,
+			spec:     spec,
+			useTuned: useTuned,
+			agent:    agent.New(spec.M0, spec.Eta0, spec.MaxBatchPerGPU, spec.MaxBatchGlobal),
+			alloc:    make([]int, cfg.Nodes),
+		}
+		_, js.batch = js.fixedBatch()
+		if policy.AdaptsBatchSize() {
+			js.batch = spec.M0 // Pollux starts every job at m0 on 1 GPU
+		}
+		c.jobs = append(c.jobs, js)
+	}
+	return c
+}
+
+// Run executes the simulation to completion (all jobs done or MaxTime).
+func (c *Cluster) Run() Result {
+	cfg := c.cfg
+	nextSched := 0.0
+	nextAgent := 0.0
+	for c.now = 0; c.now < cfg.MaxTime; c.now += cfg.Tick {
+		c.submitArrivals()
+		if c.now >= nextAgent {
+			c.agentTick()
+			nextAgent += cfg.AgentInterval
+		}
+		if c.now >= nextSched {
+			if cfg.Autoscale != nil {
+				c.autoscaleTick()
+			}
+			c.scheduleTick()
+			nextSched += cfg.SchedInterval
+		}
+		c.nodeSeconds += float64(c.activeNodes+c.provisioning) * cfg.Tick
+		c.advance(cfg.Tick)
+		if c.allDone() {
+			break
+		}
+	}
+	return c.result()
+}
+
+func (c *Cluster) submitArrivals() {
+	for _, j := range c.jobs {
+		if !j.submitted && j.wj.Submit <= c.now {
+			j.submitted = true
+			c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventSubmit})
+		}
+	}
+}
+
+func (c *Cluster) allDone() bool {
+	for _, j := range c.jobs {
+		if !j.done {
+			return false
+		}
+	}
+	return true
+}
+
+// active returns submitted, unfinished jobs.
+func (c *Cluster) active() []*jobState {
+	var out []*jobState
+	for _, j := range c.jobs {
+		if j.submitted && !j.done {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// agentTick refreshes every running job's fitted model, replayed noise
+// scale, and — under Pollux — its tuned batch size.
+func (c *Cluster) agentTick() {
+	for _, j := range c.active() {
+		if j.pl.GPUs == 0 {
+			continue
+		}
+		phi := j.spec.Phi(j.progressFrac())
+		phi *= 1 + c.cfg.NoiseFrac*(c.rng.Float64()*2-1)
+		j.agent.SetPhi(phi)
+		j.agent.Refit()
+		if c.policy.AdaptsBatchSize() {
+			prev := j.batch
+			j.batch, _ = j.agent.TuneBatch(j.pl)
+			if j.batch != prev {
+				c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventBatchChange, Batch: j.batch})
+			}
+		}
+	}
+}
+
+// scheduleTick invokes the policy and applies the resulting allocations.
+func (c *Cluster) scheduleTick() {
+	act := c.active()
+	view := &sched.ClusterView{
+		Now:      c.now,
+		Capacity: c.capacity(),
+		Current:  ga.NewMatrix(len(act), c.cfg.Nodes),
+	}
+	for i, j := range act {
+		copy(view.Current[i], j.alloc)
+		gpus, batch := j.fixedBatch()
+		minGPUs := (batch + j.spec.MaxBatchPerGPU - 1) / j.spec.MaxBatchPerGPU
+		eff := core.Efficiency(j.spec.Phi(j.progressFrac()), j.spec.M0, batch)
+		remIters := (j.spec.TotalWork() - j.progress) / (eff * float64(batch))
+		view.Jobs = append(view.Jobs, sched.JobView{
+			ID:             j.wj.ID,
+			Submit:         j.wj.Submit,
+			Model:          j.agent.Report(),
+			GPUCap:         j.agent.GPUCap(),
+			UserGPUs:       gpus,
+			UserBatch:      batch,
+			MinGPUs:        minGPUs,
+			RemainingIters: remIters,
+			GPUTime:        j.gpuTime,
+		})
+	}
+	m := c.policy.Schedule(view)
+	if len(m) != len(act) {
+		return // defensive: malformed policy output
+	}
+	for i, j := range act {
+		c.applyAlloc(j, m[i])
+	}
+	c.recomputeInterference()
+}
+
+// applyAlloc installs a new allocation row on a job, charging the
+// checkpoint-restart delay when the placement changes.
+func (c *Cluster) applyAlloc(j *jobState, row []int) {
+	same := true
+	for n := range row {
+		if row[n] != j.alloc[n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return
+	}
+	copy(j.alloc, row)
+	j.pl = sched.PlacementOf(row)
+	c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventAllocate, Placement: j.pl})
+	if j.pl.GPUs > 0 {
+		j.restartUntil = c.now + c.cfg.RestartDelay
+		// Re-clamp the batch: the new placement may not fit the old one.
+		if c.policy.AdaptsBatchSize() {
+			j.batch, _ = j.agent.TuneBatch(j.pl)
+		}
+	}
+}
+
+// recomputeInterference marks distributed jobs sharing a node with another
+// distributed job. Only called when allocations change.
+func (c *Cluster) recomputeInterference() {
+	type nodeInfo struct{ distJobs []*jobState }
+	nodes := make([]nodeInfo, c.cfg.Nodes)
+	for _, j := range c.active() {
+		j.interfered = false
+		if j.pl.Nodes <= 1 {
+			continue
+		}
+		for n, g := range j.alloc {
+			if g > 0 {
+				nodes[n].distJobs = append(nodes[n].distJobs, j)
+			}
+		}
+	}
+	for _, ni := range nodes {
+		if len(ni.distJobs) > 1 {
+			for _, j := range ni.distJobs {
+				j.interfered = true
+			}
+		}
+	}
+}
+
+func (c *Cluster) capacity() []int {
+	capacity := make([]int, c.cfg.Nodes)
+	for i := 0; i < c.activeNodes && i < len(capacity); i++ {
+		capacity[i] = c.cfg.GPUsPerNode
+	}
+	return capacity
+}
+
+// advance progresses every running job by dt seconds of training.
+func (c *Cluster) advance(dt float64) {
+	for _, j := range c.active() {
+		if j.pl.GPUs == 0 || c.now < j.restartUntil {
+			continue
+		}
+		m := j.batch
+		// Defensive clamp: a baseline job whose fixed batch does not
+		// fit its allocation trains at the largest feasible batch.
+		if maxFit := j.pl.GPUs * j.spec.MaxBatchPerGPU; m > maxFit {
+			m = maxFit
+		}
+		if m < j.spec.M0 {
+			continue // cannot run: initial batch does not fit
+		}
+		tIter := j.spec.Truth.TIter(j.pl, float64(m))
+		if j.interfered && c.cfg.InterferenceSlowdown > 0 {
+			tIter /= 1 - c.cfg.InterferenceSlowdown
+		}
+		tput := float64(m) / tIter
+		eff := core.Efficiency(j.spec.Phi(j.progressFrac()), j.spec.M0, m)
+		good := tput * eff
+
+		j.progress += good * dt
+		j.gpuTime += float64(j.pl.GPUs) * dt
+		j.effSum += eff * dt
+		j.tputSum += tput * dt
+		j.goodSum += good * dt
+		j.exampleSum += tput * dt
+		j.runTime += dt
+
+		// Profile the observation the agent would have measured.
+		noisy := tIter * (1 + c.cfg.NoiseFrac*(c.rng.Float64()*2-1))
+		j.agent.RecordSample(j.pl, m, noisy)
+
+		if j.progress >= j.spec.TotalWork() {
+			j.done = true
+			j.finish = c.now + dt
+			c.record(Event{Time: j.finish, Job: j.wj.ID, Kind: EventFinish})
+			for n := range j.alloc {
+				j.alloc[n] = 0
+			}
+			j.pl = core.Placement{}
+		}
+	}
+}
+
+func (c *Cluster) result() Result {
+	var res Result
+	var effSum, runSum, tputSum, goodSum float64
+	perModel := make(map[string][]metrics.JobRecord)
+	for _, j := range c.jobs {
+		rec := metrics.JobRecord{Submit: j.wj.Submit, Finish: j.finish}
+		res.Records = append(res.Records, rec)
+		perModel[j.spec.Name] = append(perModel[j.spec.Name], rec)
+		effSum += j.effSum
+		runSum += j.runTime
+		tputSum += j.tputSum
+		goodSum += j.goodSum
+	}
+	res.Summary = metrics.Summarize(res.Records)
+	res.PerModel = make(map[string]metrics.Summary, len(perModel))
+	for name, recs := range perModel {
+		res.PerModel[name] = metrics.Summarize(recs)
+	}
+	res.CostNodeSeconds = c.nodeSeconds
+	res.Events = c.events
+	if runSum > 0 {
+		res.Summary.AvgEfficiency = effSum / runSum
+		res.AvgThroughput = tputSum / runSum
+		res.AvgGoodput = goodSum / runSum
+	}
+	return res
+}
+
+// RunSeeds runs the same trace parameters across several seeds (fresh
+// traces and policies per seed, as in Sec. 5.3) and averages summaries.
+// newPolicy must return a fresh policy for each seed.
+func RunSeeds(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
+	newPolicy func(seed int64) sched.Policy, cfg Config) metrics.Summary {
+	var runs []metrics.Summary
+	var tputs, goods []float64
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		trace := genTrace(rng)
+		c := cfg
+		c.Seed = seed
+		res := NewCluster(trace, newPolicy(seed), c).Run()
+		runs = append(runs, res.Summary)
+		tputs = append(tputs, res.AvgThroughput)
+		goods = append(goods, res.AvgGoodput)
+	}
+	avg := metrics.Average(runs)
+	avg.AvgThroughputX = metrics.Mean(tputs)
+	avg.AvgGoodputX = metrics.Mean(goods)
+	return avg
+}

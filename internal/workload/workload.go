@@ -1,0 +1,281 @@
+// Package workload synthesizes job traces following the published
+// statistics of the Microsoft cluster trace the Pollux paper samples from
+// (Sec. 5.1): the Table 1 model mix by GPU-time category, a diurnal
+// submission pattern whose fourth-hour peak is ~3x the first-hour rate
+// (Fig. 6), and 160 jobs over an 8-hour window as the primary workload.
+//
+// Each job carries two configurations:
+//
+//   - a tuned configuration (Sec. 5.2): GPUs chosen so the job achieves
+//     50–80% of ideal speedup at its optimal batch size — the idealized
+//     "highly rational user" assumed for Tiresias+TunedJobs and
+//     Optimus+Oracle;
+//   - a user configuration (Sec. 5.3.1): a small GPU request drawn from a
+//     trace-like distribution and a batch size within a factor of two of
+//     the most efficient batch for that GPU count — realistic users.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// Job is one synthesized submission.
+type Job struct {
+	ID     int
+	Model  string  // zoo model name
+	Submit float64 // seconds from trace start
+
+	// Tuned configuration (Sec. 5.2).
+	TunedGPUs  int
+	TunedBatch int
+
+	// User configuration (Sec. 5.3.1).
+	UserGPUs  int
+	UserBatch int
+}
+
+// Trace is a generated workload.
+type Trace struct {
+	Jobs     []Job
+	Duration float64 // submission window in seconds
+}
+
+// DiurnalWeights is the relative submission rate per hour of the 8-hour
+// primary workload window. The fourth hour peaks at 3x the first hour,
+// matching the description of Fig. 6.
+var DiurnalWeights = []float64{1.0, 1.5, 2.5, 3.0, 2.5, 2.0, 1.5, 1.0}
+
+// Options controls trace generation.
+type Options struct {
+	Jobs  int     // number of submissions; default 160
+	Hours float64 // submission window; default 8
+	// GPUsPerNode is used to derive placements when computing tuned
+	// configurations; default 4 (the paper's testbed nodes).
+	GPUsPerNode int
+	// MaxGPUs caps tuned/user GPU counts; default 16.
+	MaxGPUs int
+}
+
+func (o *Options) defaults() {
+	if o.Jobs <= 0 {
+		o.Jobs = 160
+	}
+	if o.Hours <= 0 {
+		o.Hours = 8
+	}
+	if o.GPUsPerNode <= 0 {
+		o.GPUsPerNode = 4
+	}
+	if o.MaxGPUs <= 0 {
+		o.MaxGPUs = 16
+	}
+}
+
+// Generate synthesizes a trace. Generation is deterministic for a given
+// rng state.
+func Generate(rng *rand.Rand, opts Options) Trace {
+	opts.defaults()
+	zoo := models.Zoo()
+	duration := opts.Hours * 3600
+	tr := Trace{Duration: duration}
+	for i := 0; i < opts.Jobs; i++ {
+		spec := sampleModel(rng, zoo)
+		j := Job{
+			ID:     i,
+			Model:  spec.Name,
+			Submit: sampleSubmit(rng, opts.Hours),
+		}
+		j.TunedGPUs, j.TunedBatch = TunedConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+		j.UserGPUs, j.UserBatch = UserConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	// Sort by submission time while keeping IDs stable.
+	for i := 1; i < len(tr.Jobs); i++ {
+		for k := i; k > 0 && tr.Jobs[k].Submit < tr.Jobs[k-1].Submit; k-- {
+			tr.Jobs[k], tr.Jobs[k-1] = tr.Jobs[k-1], tr.Jobs[k]
+		}
+	}
+	return tr
+}
+
+// sampleModel draws a zoo spec according to the Table 1 fractions.
+func sampleModel(rng *rand.Rand, zoo []*models.Spec) *models.Spec {
+	u := rng.Float64()
+	acc := 0.0
+	for _, s := range zoo {
+		acc += s.Frac
+		if u < acc {
+			return s
+		}
+	}
+	return zoo[len(zoo)-1]
+}
+
+// sampleSubmit draws a submission time from the diurnal distribution
+// stretched over the window.
+func sampleSubmit(rng *rand.Rand, hours float64) float64 {
+	w := DiurnalWeights
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	u := rng.Float64() * total
+	for h, x := range w {
+		if u < x {
+			frac := (float64(h) + u/x) / float64(len(w))
+			return frac * hours * 3600
+		}
+		u -= x
+	}
+	return hours * 3600 * rng.Float64()
+}
+
+// packedPlacement maps a GPU count to the placement obtained by packing
+// onto as few nodes as possible with gpusPerNode each.
+func packedPlacement(gpus, gpusPerNode int) core.Placement {
+	nodes := (gpus + gpusPerNode - 1) / gpusPerNode
+	return core.Placement{GPUs: gpus, Nodes: nodes}
+}
+
+// refPhi is the noise scale used to judge configurations: the paper tunes
+// jobs by fully training them, which averages over the phi trajectory;
+// mid-training is the natural reference point.
+func refPhi(spec *models.Spec) float64 { return spec.Phi(0.5) }
+
+// tunedCache memoizes ValidTunedGPUs per (model, gpusPerNode, maxGPUs):
+// the valid set depends only on the zoo spec, and recomputing it for each
+// of thousands of generated jobs dominates generation time otherwise.
+var tunedCache sync.Map
+
+// ValidTunedGPUs returns the GPU counts considered valid by the Sec. 5.2
+// rule: using the optimal batch size for K GPUs achieves between 50% and
+// 80% of the ideal speedup K (relative to one GPU at its optimal batch).
+func ValidTunedGPUs(spec *models.Spec, gpusPerNode, maxGPUs int) []int {
+	key := fmt.Sprintf("%s/%d/%d", spec.Name, gpusPerNode, maxGPUs)
+	if v, ok := tunedCache.Load(key); ok {
+		return v.([]int)
+	}
+	valid := validTunedGPUs(spec, gpusPerNode, maxGPUs)
+	tunedCache.Store(key, valid)
+	return valid
+}
+
+func validTunedGPUs(spec *models.Spec, gpusPerNode, maxGPUs int) []int {
+	g := spec.GoodputModel(0.5)
+	g.Phi = refPhi(spec)
+	var valid []int
+	for k := 1; k <= maxGPUs; k++ {
+		pl := packedPlacement(k, gpusPerNode)
+		s := g.Speedup(pl)
+		if s >= 0.5*float64(k) && s <= 0.8*float64(k) {
+			valid = append(valid, k)
+		}
+	}
+	if len(valid) == 0 {
+		// Degenerate scalability: fall back to a single GPU, which is
+		// always a sane tuned configuration.
+		valid = []int{1}
+	}
+	return valid
+}
+
+// TunedConfig draws an idealized (GPUs, batch) pair per Sec. 5.2.
+func TunedConfig(rng *rand.Rand, spec *models.Spec, gpusPerNode, maxGPUs int) (gpus, batch int) {
+	valid := ValidTunedGPUs(spec, gpusPerNode, maxGPUs)
+	gpus = valid[rng.Intn(len(valid))]
+	g := spec.GoodputModel(0.5)
+	g.Phi = refPhi(spec)
+	m, _, ok := g.OptimalBatch(packedPlacement(gpus, gpusPerNode))
+	if !ok {
+		m = spec.M0
+	}
+	return gpus, m
+}
+
+// userGPUDist is the trace-like distribution of user GPU requests: most
+// users request few GPUs (Sec. 5.3.1: "many users requested a small
+// number of GPUs, when they could still have efficiently utilized more").
+var userGPUDist = []struct {
+	gpus int
+	p    float64
+}{
+	{1, 0.60}, {2, 0.18}, {4, 0.14}, {8, 0.06}, {16, 0.02},
+}
+
+// UserConfig draws a realistic (GPUs, batch) pair per Sec. 5.3.1: the GPU
+// count from the trace-like distribution and a batch size within a factor
+// of two of the most efficient batch for that GPU count.
+func UserConfig(rng *rand.Rand, spec *models.Spec, gpusPerNode, maxGPUs int) (gpus, batch int) {
+	u := rng.Float64()
+	acc := 0.0
+	gpus = 1
+	for _, e := range userGPUDist {
+		acc += e.p
+		if u < acc {
+			gpus = e.gpus
+			break
+		}
+	}
+	if gpus > maxGPUs {
+		gpus = maxGPUs
+	}
+	g := spec.GoodputModel(0.5)
+	g.Phi = refPhi(spec)
+	m, _, ok := g.OptimalBatch(packedPlacement(gpus, gpusPerNode))
+	if !ok {
+		m = spec.M0
+	}
+	// Perturb by 2^u, u ∈ [-1, 1], clamped to feasibility.
+	factor := math.Pow(2, rng.Float64()*2-1)
+	batch = int(float64(m) * factor)
+	if batch < spec.M0 {
+		batch = spec.M0
+	}
+	if cap := gpus * spec.MaxBatchPerGPU; batch > cap {
+		batch = cap
+	}
+	if spec.MaxBatchGlobal > 0 && batch > spec.MaxBatchGlobal {
+		batch = spec.MaxBatchGlobal
+	}
+	return gpus, batch
+}
+
+// HourlyCounts histograms submissions per hour for Fig. 6.
+func (t Trace) HourlyCounts() []int {
+	hours := int(math.Ceil(t.Duration / 3600))
+	counts := make([]int, hours)
+	for _, j := range t.Jobs {
+		h := int(j.Submit / 3600)
+		if h >= 0 && h < hours {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// Validate checks internal consistency of a trace (used by tests and the
+// pollux-trace CLI).
+func (t Trace) Validate() error {
+	for _, j := range t.Jobs {
+		spec := models.ByName(j.Model)
+		if spec == nil {
+			return fmt.Errorf("job %d: unknown model %q", j.ID, j.Model)
+		}
+		if j.Submit < 0 || j.Submit > t.Duration {
+			return fmt.Errorf("job %d: submit %v outside [0, %v]", j.ID, j.Submit, t.Duration)
+		}
+		if j.TunedGPUs < 1 || j.UserGPUs < 1 {
+			return fmt.Errorf("job %d: non-positive GPU count", j.ID)
+		}
+		if j.TunedBatch < spec.M0 || j.UserBatch < spec.M0 {
+			return fmt.Errorf("job %d: batch below m0", j.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func genDefault(seed int64) Trace {
+	return Generate(rand.New(rand.NewSource(seed)), Options{})
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tr := genDefault(1)
+	if len(tr.Jobs) != 160 {
+		t.Errorf("jobs = %d, want 160", len(tr.Jobs))
+	}
+	if tr.Duration != 8*3600 {
+		t.Errorf("duration = %v, want 8h", tr.Duration)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestGenerateSortedBySubmit(t *testing.T) {
+	tr := genDefault(2)
+	for i := 1; i < len(tr.Jobs); i++ {
+		if tr.Jobs[i].Submit < tr.Jobs[i-1].Submit {
+			t.Fatalf("jobs not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := genDefault(7), genDefault(7)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestModelMixApproximatesTable1(t *testing.T) {
+	// Aggregate over many jobs so sampling noise is small.
+	rng := rand.New(rand.NewSource(3))
+	tr := Generate(rng, Options{Jobs: 8000})
+	counts := map[string]int{}
+	for _, j := range tr.Jobs {
+		counts[j.Model]++
+	}
+	for _, s := range models.Zoo() {
+		got := float64(counts[s.Name]) / float64(len(tr.Jobs))
+		if math.Abs(got-s.Frac) > 0.03 {
+			t.Errorf("%s fraction = %v, want ~%v", s.Name, got, s.Frac)
+		}
+	}
+}
+
+func TestDiurnalShapeFig6(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Generate(rng, Options{Jobs: 20000})
+	counts := tr.HourlyCounts()
+	if len(counts) != 8 {
+		t.Fatalf("hours = %d, want 8", len(counts))
+	}
+	// Peak hour is the fourth (index 3) at ~3x the first hour.
+	peak := 0
+	for h, c := range counts {
+		if c > counts[peak] {
+			peak = h
+		}
+		_ = h
+	}
+	if peak != 3 {
+		t.Errorf("peak hour = %d, want 3 (fourth hour); counts = %v", peak, counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("peak/first ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestTunedConfigRespectsSpeedupBand(t *testing.T) {
+	for _, spec := range models.Zoo() {
+		valid := ValidTunedGPUs(spec, 4, 16)
+		if len(valid) == 0 {
+			t.Fatalf("%s: no valid tuned GPU counts", spec.Name)
+		}
+		g := spec.GoodputModel(0.5)
+		for _, k := range valid {
+			if k == 1 {
+				continue // fallback case is exempt
+			}
+			pl := packedPlacement(k, 4)
+			s := g.Speedup(pl)
+			if s < 0.5*float64(k)-1e-9 || s > 0.8*float64(k)+1e-9 {
+				t.Errorf("%s: K=%d speedup %v outside [%v, %v]",
+					spec.Name, k, s, 0.5*float64(k), 0.8*float64(k))
+			}
+		}
+	}
+}
+
+func TestTunedConfigBatchFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, spec := range models.Zoo() {
+		for i := 0; i < 50; i++ {
+			gpus, batch := TunedConfig(rng, spec, 4, 16)
+			if gpus < 1 || gpus > 16 {
+				t.Fatalf("%s: tuned gpus %d out of range", spec.Name, gpus)
+			}
+			if batch < spec.M0 {
+				t.Fatalf("%s: tuned batch %d below m0", spec.Name, batch)
+			}
+			if batch > gpus*spec.MaxBatchPerGPU {
+				t.Fatalf("%s: tuned batch %d exceeds memory of %d GPUs", spec.Name, batch, gpus)
+			}
+		}
+	}
+}
+
+func TestUserConfigMostlySmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	spec := models.ByName("resnet18")
+	small := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		gpus, _ := UserConfig(rng, spec, 4, 16)
+		if gpus <= 2 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	if frac < 0.7 || frac > 0.9 {
+		t.Errorf("fraction of small user requests = %v, want ~0.78", frac)
+	}
+}
+
+func TestUserConfigBatchWithinFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, spec := range models.Zoo() {
+		for i := 0; i < 100; i++ {
+			gpus, batch := UserConfig(rng, spec, 4, 16)
+			g := spec.GoodputModel(0.5)
+			opt, _, ok := g.OptimalBatch(packedPlacement(gpus, 4))
+			if !ok {
+				continue
+			}
+			lo := float64(opt) / 2.1
+			// Upper bound can be clipped by memory/m0, so only check
+			// the unclipped direction.
+			if float64(batch) > float64(opt)*2.1 && batch > spec.M0 {
+				t.Errorf("%s: user batch %d more than 2x optimal %d", spec.Name, batch, opt)
+			}
+			if float64(batch) < lo && batch > spec.M0 {
+				t.Errorf("%s: user batch %d less than half optimal %d", spec.Name, batch, opt)
+			}
+		}
+	}
+}
+
+func TestHourlyCountsTotal(t *testing.T) {
+	tr := genDefault(9)
+	sum := 0
+	for _, c := range tr.HourlyCounts() {
+		sum += c
+	}
+	if sum != len(tr.Jobs) {
+		t.Errorf("hourly counts sum = %d, want %d", sum, len(tr.Jobs))
+	}
+}
+
+func TestValidateCatchesBadTrace(t *testing.T) {
+	tr := genDefault(10)
+	tr.Jobs[0].Model = "bogus"
+	if err := tr.Validate(); err == nil {
+		t.Error("validate accepted unknown model")
+	}
+	tr = genDefault(10)
+	tr.Jobs[0].Submit = -5
+	if err := tr.Validate(); err == nil {
+		t.Error("validate accepted negative submit")
+	}
+	tr = genDefault(10)
+	tr.Jobs[0].TunedBatch = 1
+	if err := tr.Validate(); err == nil {
+		t.Error("validate accepted batch below m0")
+	}
+}
+
+func TestGenerateCustomSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := Generate(rng, Options{Jobs: 40, Hours: 4})
+	if len(tr.Jobs) != 40 {
+		t.Errorf("jobs = %d, want 40", len(tr.Jobs))
+	}
+	if tr.Duration != 4*3600 {
+		t.Errorf("duration = %v, want 4h", tr.Duration)
+	}
+	for _, j := range tr.Jobs {
+		if j.Submit > tr.Duration {
+			t.Errorf("submit %v beyond duration", j.Submit)
+		}
+	}
+}
