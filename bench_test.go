@@ -11,9 +11,13 @@
 package repro
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // runExperiment executes one experiment per benchmark iteration and logs
@@ -153,4 +157,41 @@ func BenchmarkValidateEfficiencyOnRealSGD(b *testing.B) {
 	runExperiment(b, "validate", map[string]string{
 		"worstOff": "worst-actual/pred",
 	})
+}
+
+// BenchmarkEngineTickVsEvent compares the fixed-step and discrete-event
+// simulation engines on the standard 16-node trace at a 1-second tick,
+// per policy. The ns/op ratio between the tick and event sub-benchmarks
+// is the engine speedup.
+func BenchmarkEngineTickVsEvent(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := workload.Generate(rng, workload.Options{
+		Jobs: 40, Hours: 2, GPUsPerNode: 4, MaxGPUs: 64,
+	})
+	policies := []struct {
+		name string
+		make func(seed int64) sched.Policy
+	}{
+		{"pollux", func(seed int64) sched.Policy {
+			return sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, seed)
+		}},
+		{"optimus", func(seed int64) sched.Policy { return sched.NewOptimus(4) }},
+		{"tiresias", func(seed int64) sched.Policy { return sched.NewTiresias() }},
+	}
+	for _, pol := range policies {
+		for _, engine := range []string{sim.EngineTick, sim.EngineEvent} {
+			b.Run(pol.name+"/"+engine, func(b *testing.B) {
+				cfg := sim.Config{
+					Nodes: 16, GPUsPerNode: 4, Tick: 1,
+					UseTunedConfig: true, Seed: 1, Engine: engine,
+				}
+				var res sim.Result
+				for i := 0; i < b.N; i++ {
+					res = sim.NewCluster(tr, pol.make(1), cfg).Run()
+				}
+				b.ReportMetric(res.Summary.AvgJCT, "avgJCT-s")
+				b.ReportMetric(res.AvgGoodput, "goodput-ex/s")
+			})
+		}
+	}
 }

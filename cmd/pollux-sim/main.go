@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	pollux-sim [-policy pollux|optimus|tiresias] [-jobs 160] [-hours 8]
-//	           [-nodes 16] [-gpus 4] [-seed 1] [-user] [-interference 0.5]
+//	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick]
+//	           [-jobs 160] [-hours 8] [-nodes 16] [-gpus 4] [-seed 1]
+//	           [-user] [-interference 0.5]
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 	user := flag.Bool("user", false, "use realistic user configs instead of tuned configs")
 	interference := flag.Float64("interference", 0, "artificial slowdown for co-located distributed jobs (0-0.9)")
 	noAvoid := flag.Bool("no-avoidance", false, "disable Pollux interference avoidance")
-	tick := flag.Float64("tick", 2, "simulation tick seconds")
+	engine := flag.String("engine", sim.EngineEvent, "simulation engine: event (discrete-event) or tick (fixed-step)")
+	tick := flag.Float64("tick", 2, "tick seconds (tick engine step / event engine profiling resolution)")
 	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
 	events := flag.Int("events", 0, "print the last N scheduling events")
 	flag.Parse()
@@ -61,6 +63,11 @@ func main() {
 		}
 	}
 
+	if *engine != sim.EngineEvent && *engine != sim.EngineTick {
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineTick)
+		os.Exit(2)
+	}
+
 	var p sched.Policy
 	switch *policy {
 	case "pollux":
@@ -78,7 +85,7 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		Nodes: *nodes, GPUsPerNode: *gpus, Tick: *tick,
+		Nodes: *nodes, GPUsPerNode: *gpus, Tick: *tick, Engine: *engine,
 		UseTunedConfig:       !*user,
 		InterferenceSlowdown: *interference,
 		Seed:                 *seed,
@@ -87,8 +94,8 @@ func main() {
 	res := sim.NewCluster(trace, p, cfg).Run()
 	s := res.Summary
 
-	fmt.Printf("policy=%s jobs=%d cluster=%dx%d GPUs seed=%d configs=%s\n",
-		p.Name(), *jobs, *nodes, *gpus, *seed, configName(*user))
+	fmt.Printf("policy=%s engine=%s jobs=%d cluster=%dx%d GPUs seed=%d configs=%s\n",
+		p.Name(), *engine, *jobs, *nodes, *gpus, *seed, configName(*user))
 	fmt.Print(metrics.Table(
 		[]string{"completed", "avg JCT", "p50 JCT", "p99 JCT", "makespan", "stat.eff", "avg tput", "avg goodput"},
 		[][]string{{

@@ -7,6 +7,7 @@
 package agent
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -68,7 +69,16 @@ func New(m0 int, eta0 float64, maxBatchPerGPU, maxBatchGlobal int) *Agent {
 
 // RecordSample profiles one observed iteration time for a configuration.
 func (a *Agent) RecordSample(pl core.Placement, batch int, tIter float64) {
-	if !pl.Valid() || batch <= 0 || tIter <= 0 {
+	a.RecordSampleN(pl, batch, tIter, 1)
+}
+
+// RecordSampleN profiles n repeated observations whose mean iteration
+// time is tIter. The event-driven simulator advances whole inter-event
+// segments at once and uses this to weight a segment as the equivalent
+// per-tick observation count, so profile statistics match the tick
+// engine's.
+func (a *Agent) RecordSampleN(pl core.Placement, batch int, tIter float64, n int) {
+	if !pl.Valid() || batch <= 0 || tIter <= 0 || n <= 0 {
 		return
 	}
 	a.mu.Lock()
@@ -80,8 +90,8 @@ func (a *Agent) RecordSample(pl core.Placement, batch int, tIter float64) {
 		e = &profileEntry{}
 		a.profile[k] = e
 	}
-	e.sumTIter += tIter
-	e.count++
+	e.sumTIter += tIter * float64(n)
+	e.count += n
 }
 
 // ObserveGradients folds one iteration's gradient statistics estimate into
@@ -133,6 +143,18 @@ func (a *Agent) refitLocked() {
 			TIter:     e.sumTIter / float64(e.count),
 		})
 	}
+	// Map iteration order is randomized; sort so the loss is summed in a
+	// fixed order and repeated runs produce bit-identical fits.
+	sort.Slice(samples, func(i, j int) bool {
+		si, sj := samples[i], samples[j]
+		if si.Placement.GPUs != sj.Placement.GPUs {
+			return si.Placement.GPUs < sj.Placement.GPUs
+		}
+		if si.Placement.Nodes != sj.Placement.Nodes {
+			return si.Placement.Nodes < sj.Placement.Nodes
+		}
+		return si.Batch < sj.Batch
+	})
 	prev := core.Params{}
 	if a.hasFit {
 		prev = a.fitted

@@ -60,13 +60,16 @@ type Scale struct {
 	AutoscaleEpochs float64
 }
 
-// QuickScale finishes in tens of seconds; used by `go test -bench`.
+// QuickScale finishes in seconds on the event engine; used by
+// `go test -bench` and the default test run. AutoscaleEpochs is 4 rather
+// than 1 because a single shrunk epoch finishes before the autoscalers'
+// ramp dynamics can differentiate (the cost ratio straddles 1.0).
 func QuickScale() Scale {
 	return Scale{
 		Jobs: 30, Hours: 1.5, Nodes: 8, GPUsPerNode: 4,
 		Seeds: []int64{1, 2}, Tick: 4,
 		PolluxPop: 20, PolluxGens: 10,
-		AutoscaleEpochs: 1,
+		AutoscaleEpochs: 4,
 	}
 }
 

@@ -13,6 +13,43 @@ func quick() Scale {
 	return sc
 }
 
+// shortScale is small enough that the simulation-backed experiments run
+// even under -short, as smoke coverage for the full pipeline.
+func shortScale() Scale {
+	return Scale{
+		Jobs: 8, Hours: 0.5, Nodes: 4, GPUsPerNode: 4,
+		Seeds: []int64{1}, Tick: 4,
+		PolluxPop: 10, PolluxGens: 5,
+		AutoscaleEpochs: 2,
+	}
+}
+
+// TestTable2ShortSmoke runs the heaviest macro experiment end to end at
+// smoke scale under -short; it checks structure, not the paper's
+// orderings, which need the quick scale to hold reliably.
+func TestTable2ShortSmoke(t *testing.T) {
+	o := Table2(shortScale())
+	if len(o.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(o.Rows))
+	}
+	for _, name := range []string{"Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"} {
+		if o.Values[name+"/avgJCT"] <= 0 {
+			t.Errorf("%s: no JCT recorded", name)
+		}
+	}
+}
+
+// TestFig10ShortSmoke covers the autoscaling experiment under -short.
+func TestFig10ShortSmoke(t *testing.T) {
+	o := Fig10(shortScale())
+	if len(o.Rows) == 0 {
+		t.Fatal("no time series recorded")
+	}
+	if o.Values["pollux/cost"] <= 0 || o.Values["oretal/cost"] <= 0 {
+		t.Errorf("costs not recorded: %v, %v", o.Values["pollux/cost"], o.Values["oretal/cost"])
+	}
+}
+
 func TestTable2PolluxWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
@@ -81,7 +118,14 @@ func TestTable3WeightsImproveMedian(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	o := Table3(quick())
+	// This runs at the full QuickScale (two seeds), not quick(): most
+	// quick-scale jobs never cross the 4-GPU-hour weight threshold, so
+	// the λ effect on the median is small and a single seed swings
+	// roughly ±12% around 1.0 — historically past the 1.1 bound when
+	// nondeterministic refits (since fixed) nudged the trajectory.
+	// Averaging two seeds keeps the check meaningful; the paper's 0.77
+	// needs full scale to reproduce.
+	o := Table3(QuickScale())
 	if o.Values["avg/0.0"] != 1 || o.Values["p50/0.0"] != 1 {
 		t.Fatal("λ=0 row must be the normalization base")
 	}

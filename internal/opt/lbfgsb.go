@@ -337,13 +337,22 @@ func axpy(dst, a []float64, scale float64) {
 // result. Throughput-model fitting uses a handful of heuristic starts to
 // avoid poor local minima in the RMSLE landscape.
 func MultiStart(f func([]float64) float64, starts [][]float64, b Bounds, opts LBFGSBOptions) Result {
+	return MultiStartGrad(f, nil, starts, b, opts)
+}
+
+// MultiStartGrad is MultiStart with an analytic gradient. A nil grad
+// falls back to central-difference numerical gradients. The returned
+// Evals is the total across all starts.
+func MultiStartGrad(f func([]float64) float64, grad func([]float64) []float64, starts [][]float64, b Bounds, opts LBFGSBOptions) Result {
 	best := Result{F: math.Inf(1)}
+	evals := 0
 	for _, s := range starts {
-		r := LBFGSB(f, nil, s, b, opts)
+		r := LBFGSB(f, grad, s, b, opts)
+		evals += r.Evals
 		if r.F < best.F {
 			best = r
 		}
-		best.Evals += r.Evals
 	}
+	best.Evals = evals
 	return best
 }

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eventsim"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// singleJobCluster builds a cluster holding one running resnet18 job on 4
+// co-located GPUs, for exercising the progress-advance primitives
+// directly.
+func singleJobCluster(engine string) (*Cluster, *jobState) {
+	tr := workload.Trace{Jobs: []workload.Job{{
+		ID: 1, Model: "resnet18", Submit: 0,
+		TunedGPUs: 4, TunedBatch: 512, UserGPUs: 4, UserBatch: 512,
+	}}}
+	cfg := Config{Nodes: 4, GPUsPerNode: 4, Tick: 1, UseTunedConfig: true, Seed: 42, Engine: engine}
+	c := NewCluster(tr, sched.NewTiresias(), cfg)
+	j := c.jobs[0]
+	j.submitted = true
+	j.alloc[0] = 4
+	j.pl = sched.PlacementOf(j.alloc)
+	return c, j
+}
+
+// TestClosedFormAdvanceIsAdditive: advancing a job in one closed-form
+// jump must equal advancing it through many sub-segments at the same
+// frozen rate — the defining property that lets the event engine skip
+// the time between events.
+func TestClosedFormAdvanceIsAdditive(t *testing.T) {
+	one, jOne := singleJobCluster(EngineEvent)
+	many, jMany := singleJobCluster(EngineEvent)
+	one.recomputeRate(jOne)
+	many.recomputeRate(jMany)
+	if jOne.rate.good <= 0 {
+		t.Fatal("job has no training rate")
+	}
+
+	one.advanceJobTo(jOne, 300)
+	for step := 1; step <= 100; step++ {
+		many.advanceJobTo(jMany, float64(step)*3)
+	}
+
+	if d := math.Abs(jOne.progress/jMany.progress - 1); d > 1e-9 {
+		t.Errorf("single jump progress %v vs subdivided %v (rel diff %v)",
+			jOne.progress, jMany.progress, d)
+	}
+	if jOne.runTime != jMany.runTime {
+		t.Errorf("runTime: single %v vs subdivided %v", jOne.runTime, jMany.runTime)
+	}
+	if d := math.Abs(jOne.gpuTime/jMany.gpuTime - 1); d > 1e-9 {
+		t.Errorf("gpuTime: single %v vs subdivided %v", jOne.gpuTime, jMany.gpuTime)
+	}
+}
+
+// TestClosedFormAdvanceMatchesTickAccumulation: over one agent interval
+// the closed-form jump must agree with the tick engine's per-tick
+// accumulation to well under the 5% cross-engine tolerance (the only
+// difference is that the tick engine re-reads the slowly drifting
+// efficiency every second).
+func TestClosedFormAdvanceMatchesTickAccumulation(t *testing.T) {
+	ev, jEv := singleJobCluster(EngineEvent)
+	tk, jTk := singleJobCluster(EngineTick)
+
+	ev.recomputeRate(jEv)
+	ev.advanceJobTo(jEv, 30)
+
+	for tk.now = 0; tk.now < 30; tk.now += tk.cfg.Tick {
+		tk.advance(tk.cfg.Tick)
+	}
+
+	if jEv.progress <= 0 || jTk.progress <= 0 {
+		t.Fatalf("no progress: event %v tick %v", jEv.progress, jTk.progress)
+	}
+	if d := math.Abs(jEv.progress/jTk.progress - 1); d > 0.005 {
+		t.Errorf("closed-form progress %v vs tick accumulation %v (rel diff %v)",
+			jEv.progress, jTk.progress, d)
+	}
+	if d := math.Abs(jEv.runTime - jTk.runTime); d > 1e-9 {
+		t.Errorf("runTime: event %v vs tick %v", jEv.runTime, jTk.runTime)
+	}
+}
+
+// TestClosedFormAdvanceExcludesRestartPause: a checkpoint-restart pause
+// inside the advanced interval contributes no progress, run time, or GPU
+// time.
+func TestClosedFormAdvanceExcludesRestartPause(t *testing.T) {
+	c, j := singleJobCluster(EngineEvent)
+	c.recomputeRate(j)
+	good := j.rate.good
+
+	j.restartUntil = 100
+	c.advanceJobTo(j, 300)
+
+	if j.runTime != 200 {
+		t.Errorf("runTime = %v, want 200 (300s minus 100s pause)", j.runTime)
+	}
+	if d := math.Abs(j.progress - good*200); d > 1e-6 {
+		t.Errorf("progress = %v, want rate*200 = %v", j.progress, good*200)
+	}
+
+	// A pause covering the whole interval freezes the job entirely.
+	c2, j2 := singleJobCluster(EngineEvent)
+	c2.recomputeRate(j2)
+	j2.restartUntil = 1000
+	c2.advanceJobTo(j2, 300)
+	if j2.progress != 0 || j2.runTime != 0 {
+		t.Errorf("paused job advanced: progress=%v runTime=%v", j2.progress, j2.runTime)
+	}
+	if j2.lastT != 300 {
+		t.Errorf("paused job lastT = %v, want re-anchored to 300", j2.lastT)
+	}
+}
+
+// TestEventEngineSnapsDecayBoundaries: a milestone prediction lands
+// exactly on the learning-rate decay boundary, so the post-decay rate is
+// computed from the jumped noise scale with no boundary-straddling error.
+func TestEventEngineSnapsDecayBoundaries(t *testing.T) {
+	c, j := singleJobCluster(EngineEvent)
+	c.recomputeRate(j)
+	if j.rate.good <= 0 {
+		t.Fatal("no rate")
+	}
+	total := j.spec.TotalWork()
+	if len(j.spec.Decays) == 0 {
+		t.Fatal("spec has no decay milestones")
+	}
+	first := j.spec.Decays[0].Progress * total
+
+	// The milestone target is the first decay boundary, not completion.
+	if got := nextMilestoneTarget(j.spec, j.progress); got != first {
+		t.Errorf("nextMilestoneTarget = %v, want first decay boundary %v", got, first)
+	}
+
+	// Far-future milestones are not pushed: they are guaranteed to be
+	// superseded at the next rate refresh, so pushing them would only
+	// accumulate dead events on long traces.
+	var q eventsim.Queue
+	c.schedulePrediction(&q, j)
+	if wantT := (first - j.progress) / j.rate.good; wantT > c.cfg.AgentInterval {
+		if q.Len() != 0 {
+			t.Errorf("milestone %vs away pushed despite refresh horizon %vs", wantT, c.cfg.AgentInterval)
+		}
+	}
+
+	// Start the job just below the boundary: the milestone is now within
+	// the refresh horizon and must land exactly on it.
+	j.progress = first - j.rate.good*c.cfg.AgentInterval/2
+	c.schedulePrediction(&q, j)
+	e, ok := q.Pop()
+	if !ok {
+		t.Fatal("no milestone scheduled for near boundary")
+	}
+	if j.predTarget != first {
+		t.Errorf("predTarget = %v, want first decay boundary %v", j.predTarget, first)
+	}
+	wantT := c.now + (first-j.progress)/j.rate.good
+	if math.Abs(e.Time-wantT) > 1e-9*math.Max(wantT, 1) {
+		t.Errorf("milestone time %v, want %v", e.Time, wantT)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/agent"
@@ -29,9 +30,13 @@ type AutoscaleConfig struct {
 	// to the node count (part of PolluxAgent's design, not Or et al.'s).
 	RespectExploreCap bool
 	NoiseFrac         float64
-	Tick              float64
-	MaxTime           float64
-	Seed              int64
+	// Tick is the step of the fixed-step engine and the profiling
+	// resolution of the event engine (see sim.Config.Tick).
+	Tick    float64
+	MaxTime float64
+	Seed    int64
+	// Engine selects EngineEvent (default) or EngineTick, as in Config.
+	Engine string
 	// SamplePeriod controls the resolution of the recorded time series;
 	// default 300 s.
 	SamplePeriod float64
@@ -71,6 +76,12 @@ func (c *AutoscaleConfig) defaults() {
 	if c.SamplePeriod <= 0 {
 		c.SamplePeriod = 300
 	}
+	if c.Engine == "" {
+		c.Engine = EngineEvent
+	}
+	if c.Engine != EngineEvent && c.Engine != EngineTick {
+		panic(fmt.Sprintf("sim: unknown engine %q (want %q or %q)", c.Engine, EngineEvent, EngineTick))
+	}
 }
 
 // AutoscalePoint is one sample of the Fig. 10 time series.
@@ -91,9 +102,20 @@ type AutoscaleResult struct {
 
 // RunAutoscale trains one job from the model zoo to completion under the
 // given autoscaler, reproducing the Fig. 10 comparison between
-// goodput-based (Pollux) and throughput-based (Or et al.) scaling.
+// goodput-based (Pollux) and throughput-based (Or et al.) scaling. The
+// configured engine selects between the discrete-event loop (default) and
+// the original fixed-step loop.
 func RunAutoscale(spec *models.Spec, scaler sched.Autoscaler, cfg AutoscaleConfig) AutoscaleResult {
 	cfg.defaults()
+	if cfg.Engine == EngineTick {
+		return runAutoscaleTick(spec, scaler, cfg)
+	}
+	return runAutoscaleEvent(spec, scaler, cfg)
+}
+
+// runAutoscaleTick is the fixed-step single-job autoscaling loop, kept as
+// the parity oracle for runAutoscaleEvent.
+func runAutoscaleTick(spec *models.Spec, scaler sched.Autoscaler, cfg AutoscaleConfig) AutoscaleResult {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ag := agent.New(spec.M0, spec.Eta0, spec.MaxBatchPerGPU, spec.MaxBatchGlobal)
 

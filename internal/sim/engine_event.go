@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/models"
+)
+
+// Event kinds for the cluster event engine, in intra-instant execution
+// order within each eventsim class. At one timestamp the agent round runs
+// before provisioning completion, which runs before the scheduling round
+// (mirroring the tick engine's per-tick sequence); all of those run
+// before any per-job event at the same instant.
+const (
+	// Cluster-class kinds.
+	evAgent     = iota // agent report/tune round, every AgentInterval
+	evProvision        // cluster-autoscale provisioning completion
+	evSched            // autoscale decision + scheduling round, every SchedInterval
+	// Job-class kinds.
+	evArrival   // job submission
+	evRestart   // checkpoint-restart delay expiry
+	evMilestone // predicted decay-boundary crossing or job finish
+)
+
+// jobRate is a job's training rate frozen at the most recent event. The
+// engine advances progress in closed form, progress += good * dt, between
+// events; every cluster event recomputes the rate from the job's current
+// state, so the rate is piecewise-constant over intervals of at most
+// AgentInterval.
+type jobRate struct {
+	m     int     // effective batch size after placement clamping
+	tIter float64 // true seconds per iteration (incl. interference)
+	tput  float64 // examples per second
+	eff   float64 // statistical efficiency at the freeze point
+	good  float64 // goodput = tput * eff, in m0-equivalent examples/s
+}
+
+// runEvent is the discrete-event engine: the clock jumps between pending
+// events — job arrivals, agent report/tune rounds, scheduling rounds,
+// provisioning completions, restart expiries, and the closed-form
+// predicted progress milestones (learning-rate decay crossings and job
+// finishes) — instead of stepping a fixed tick.
+func (c *Cluster) runEvent() Result {
+	cfg := c.cfg
+	var q eventsim.Queue
+
+	byID := make(map[int]*jobState, len(c.jobs))
+	for _, j := range c.jobs {
+		byID[j.wj.ID] = j
+		q.Push(eventsim.Event{
+			Time: j.wj.Submit, Class: eventsim.ClassJob, Job: j.wj.ID, Kind: evArrival,
+		})
+	}
+	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: evAgent})
+	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: evSched})
+
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if e.Time > cfg.MaxTime {
+			break
+		}
+		c.integrateCost(e.Time)
+		c.now = e.Time
+
+		switch e.Kind {
+		case evArrival:
+			j := byID[e.Job]
+			if j.submitted {
+				break // picked up by a coincident cluster round below
+			}
+			j.submitted = true
+			j.lastT = c.now
+			c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventSubmit})
+
+		case evAgent:
+			// Cluster events pop before job events at equal timestamps,
+			// so a job whose submit time coincides exactly with this
+			// round would otherwise miss it and wait a whole interval
+			// (the tick engine admits arrivals first); admit due
+			// arrivals here, leaving their evArrival a no-op.
+			c.submitArrivals()
+			c.advanceAll()
+			c.agentTick()
+			c.refreshPredictions(&q)
+			q.Push(eventsim.Event{
+				Time: c.now + cfg.AgentInterval, Class: eventsim.ClassCluster, Kind: evAgent,
+			})
+
+		case evProvision:
+			if c.provisioning > 0 && c.now >= c.provisionAt {
+				c.activeNodes += c.provisioning
+				c.provisioning = 0
+			}
+
+		case evSched:
+			c.submitArrivals()
+			c.advanceAll()
+			if cfg.Autoscale != nil {
+				c.autoscaleTick()
+				if c.provisioning > 0 {
+					q.Push(eventsim.Event{
+						Time: c.provisionAt, Class: eventsim.ClassCluster, Kind: evProvision,
+					})
+				}
+			}
+			c.scheduleTick()
+			c.refreshPredictions(&q)
+			q.Push(eventsim.Event{
+				Time: c.now + cfg.SchedInterval, Class: eventsim.ClassCluster, Kind: evSched,
+			})
+
+		case evRestart:
+			// Semantically redundant: advanceJobTo already excludes the
+			// pause window from every segment, and the rate is unchanged
+			// across it (progress was frozen), so this re-anchor changes
+			// nothing. It is kept as an explicit event so restart-delay
+			// expiries appear on the timeline like every other state
+			// boundary; the cost is one heap entry per re-allocation.
+			c.advanceJobTo(byID[e.Job], c.now)
+
+		case evMilestone:
+			j := byID[e.Job]
+			if e.Version != j.version || j.done {
+				break // stale prediction, superseded by a later event
+			}
+			c.advanceJobTo(j, c.now)
+			// The event time was computed so the frozen rate lands exactly
+			// on the target; snap away the floating-point residue.
+			j.progress = j.predTarget
+			if j.predTarget >= j.spec.TotalWork() {
+				c.finishJob(j)
+			} else {
+				// Learning-rate decay boundary: phi jumps here, so the
+				// rate and the next milestone must be recomputed.
+				c.recomputeRate(j)
+				c.schedulePrediction(&q, j)
+			}
+		}
+
+		if c.allDone() {
+			break
+		}
+	}
+
+	// Unfinished tail: account running time and cluster cost up to the
+	// horizon, as the tick engine does.
+	if !c.allDone() && c.now < cfg.MaxTime {
+		c.integrateCost(cfg.MaxTime)
+		c.now = cfg.MaxTime
+		c.advanceAll()
+	}
+	return c.result()
+}
+
+// integrateCost accrues the paid cluster size (active plus provisioning
+// nodes) over the interval since the last event.
+func (c *Cluster) integrateCost(t float64) {
+	if t <= c.lastCost {
+		return
+	}
+	c.nodeSeconds += float64(c.activeNodes+c.provisioning) * (t - c.lastCost)
+	c.lastCost = t
+}
+
+// advanceAll brings every active job's training state up to c.now.
+func (c *Cluster) advanceAll() {
+	for _, j := range c.jobs {
+		if j.submitted && !j.done {
+			c.advanceJobTo(j, c.now)
+		}
+	}
+}
+
+// advanceJobTo advances one job's progress and accounting in closed form
+// from its frozen rate, excluding any portion of the interval spent in a
+// checkpoint-restart pause. The whole segment is profiled as the
+// equivalent number of per-tick observations the tick engine would have
+// recorded, with the measurement noise of their mean (one uniform draw
+// scaled by 1/sqrt(n) has the same variance as the mean of n draws), so
+// the agent sees statistically identical profiling either way.
+func (c *Cluster) advanceJobTo(j *jobState, t float64) {
+	if t <= j.lastT {
+		return
+	}
+	start := j.lastT
+	if j.restartUntil > start {
+		start = j.restartUntil
+		if start >= t {
+			j.lastT = t
+			return
+		}
+	}
+	dt := t - start
+	if j.rate.good > 0 {
+		j.progress += j.rate.good * dt
+		j.gpuTime += float64(j.pl.GPUs) * dt
+		j.effSum += j.rate.eff * dt
+		j.tputSum += j.rate.tput * dt
+		j.goodSum += j.rate.good * dt
+		j.exampleSum += j.rate.tput * dt
+		j.runTime += dt
+		n := observationCount(dt, c.cfg.Tick)
+		noisy := j.rate.tIter * (1 + c.cfg.NoiseFrac*(c.rng.Float64()*2-1)/sqrtN(n))
+		j.agent.RecordSampleN(j.pl, j.rate.m, noisy, n)
+	}
+	j.lastT = t
+}
+
+// recomputeRate freezes the job's current training rate, applying the
+// same placement clamping and interference slowdown as the tick engine's
+// per-tick advance. The statistical efficiency drifts with progress as
+// the noise scale grows, so instead of the left-endpoint value the rate
+// uses a midpoint estimate: efficiency evaluated at the progress the job
+// will have reached half a refresh interval ahead (rates are re-frozen
+// at least every AgentInterval), clamped at the next decay boundary so
+// the jump there is never smeared backwards.
+func (c *Cluster) recomputeRate(j *jobState) {
+	j.rate = jobRate{}
+	if !j.submitted || j.done || j.pl.GPUs == 0 {
+		return
+	}
+	m := j.batch
+	if maxFit := j.pl.GPUs * j.spec.MaxBatchPerGPU; m > maxFit {
+		m = maxFit
+	}
+	if m < j.spec.M0 {
+		return // cannot run: initial batch does not fit
+	}
+	tIter := j.spec.Truth.TIter(j.pl, float64(m))
+	if j.interfered && c.cfg.InterferenceSlowdown > 0 {
+		tIter /= 1 - c.cfg.InterferenceSlowdown
+	}
+	tput := float64(m) / tIter
+	eff := midpointEfficiency(j.spec, m, tput, j.progress, c.cfg.AgentInterval)
+	j.rate = jobRate{m: m, tIter: tIter, tput: tput, eff: eff, good: tput * eff}
+}
+
+// midpointEfficiency returns the statistical efficiency to freeze into a
+// training rate for batch m at the given progress: evaluated at the
+// progress the job will have reached half a refresh interval ahead
+// (rates are re-frozen at least every agentInterval), clamped at total
+// work and at the next decay boundary so the phi jump there is never
+// smeared backwards. Shared by the cluster and single-job event engines
+// so the closed-form advance cannot drift between them.
+func midpointEfficiency(spec *models.Spec, m int, tput, progress, agentInterval float64) float64 {
+	total := spec.TotalWork()
+	eff := core.Efficiency(spec.Phi(progress/total), spec.M0, m)
+	mid := progress + tput*eff*agentInterval/2
+	if mid > total {
+		mid = total
+	}
+	for _, d := range spec.Decays {
+		if pd := d.Progress * total; pd > progress && mid > pd {
+			mid = pd
+		}
+	}
+	return core.Efficiency(spec.Phi(mid/total), spec.M0, m)
+}
+
+// nextMilestoneTarget returns the next progress milestone for the
+// closed-form prediction: the nearer of the next learning-rate decay
+// boundary and job completion.
+func nextMilestoneTarget(spec *models.Spec, progress float64) float64 {
+	total := spec.TotalWork()
+	target := total
+	for _, d := range spec.Decays {
+		if pd := d.Progress * total; pd > progress && pd < target {
+			target = pd
+		}
+	}
+	return target
+}
+
+// refreshPredictions re-freezes rates and reschedules milestone events
+// for every active job after a cluster event (which may have changed
+// allocations, batch sizes, restart delays, or interference), and turns
+// freshly charged restart delays into expiry events.
+func (c *Cluster) refreshPredictions(q *eventsim.Queue) {
+	for _, j := range c.jobs {
+		if !j.submitted || j.done {
+			continue
+		}
+		c.recomputeRate(j)
+		c.schedulePrediction(q, j)
+		if j.restartUntil > c.now && j.restartUntil != j.restartEv {
+			j.restartEv = j.restartUntil
+			q.Push(eventsim.Event{
+				Time: j.restartUntil, Class: eventsim.ClassJob, Job: j.wj.ID, Kind: evRestart,
+			})
+		}
+	}
+}
+
+// schedulePrediction computes, in closed form from the frozen rate, the
+// job's next progress milestone — the nearer of the next learning-rate
+// decay boundary and job completion — and schedules it. Any previously
+// scheduled milestone is invalidated by the version bump.
+func (c *Cluster) schedulePrediction(q *eventsim.Queue, j *jobState) {
+	j.version++
+	if j.rate.good <= 0 {
+		return // paused or unallocated: nothing will happen on its own
+	}
+	target := nextMilestoneTarget(j.spec, j.progress)
+	start := c.now
+	if j.restartUntil > start {
+		start = j.restartUntil
+	}
+	t := start + (target-j.progress)/j.rate.good
+	// A milestone beyond the next rate refresh (at most AgentInterval
+	// away) is guaranteed to be superseded before it can fire; pushing
+	// it would only pile dead events into the heap on long traces. The
+	// refresh reschedules it once it is near enough.
+	if t > c.now+c.cfg.AgentInterval {
+		return
+	}
+	j.predTarget = target
+	q.Push(eventsim.Event{
+		Time:    t,
+		Class:   eventsim.ClassJob,
+		Job:     j.wj.ID,
+		Kind:    evMilestone,
+		Version: j.version,
+	})
+}
+
+// observationCount converts an advanced segment into the number of
+// per-tick profiling observations the tick engine would have made.
+func observationCount(dt, tick float64) int {
+	if tick <= 0 {
+		tick = 1
+	}
+	n := int(dt/tick + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func sqrtN(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Sqrt(float64(n))
+}
+
+// finishJob completes a job at the current instant and releases its
+// resources. Interference flags of co-located jobs are refreshed at the
+// next scheduling round, exactly as in the tick engine.
+func (c *Cluster) finishJob(j *jobState) {
+	j.done = true
+	j.finish = c.now
+	c.record(Event{Time: j.finish, Job: j.wj.ID, Kind: EventFinish})
+	for n := range j.alloc {
+		j.alloc[n] = 0
+	}
+	j.pl = core.Placement{}
+	j.rate = jobRate{}
+}

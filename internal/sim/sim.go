@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/agent"
@@ -24,11 +25,31 @@ import (
 	"repro/internal/workload"
 )
 
+// Engine selects how the simulation clock advances.
+const (
+	// EngineEvent is the discrete-event engine (the default): the clock
+	// jumps between scheduled events and job progress advances in closed
+	// form between them. See internal/eventsim and engine_event.go.
+	EngineEvent = "event"
+	// EngineTick is the original fixed-step engine, kept as a parity
+	// oracle for the event engine and for tick-resolution studies.
+	EngineTick = "tick"
+)
+
 // Config controls one simulation run.
 type Config struct {
-	Nodes       int     // number of nodes; default 16
-	GPUsPerNode int     // GPUs per node; default 4
-	Tick        float64 // simulation step in seconds; default 1
+	Nodes       int // number of nodes; default 16
+	GPUsPerNode int // GPUs per node; default 4
+	// Tick is the fixed step of the tick engine and, for the event
+	// engine, the profiling resolution: an advanced segment is weighted
+	// as dt/Tick throughput observations so agents see the same
+	// profile statistics under either engine. Default 1 s.
+	Tick float64
+	// Engine selects the simulation engine: EngineEvent (default) or
+	// EngineTick. Both implement the same cluster semantics; the event
+	// engine is an order of magnitude faster because it skips the time
+	// between events.
+	Engine string
 	// SchedInterval is the scheduling period (default 60 s);
 	// AgentInterval the agent report/tune period (default 30 s).
 	SchedInterval float64
@@ -68,6 +89,12 @@ func (c *Config) defaults() {
 	}
 	if c.Tick <= 0 {
 		c.Tick = 1
+	}
+	if c.Engine == "" {
+		c.Engine = EngineEvent
+	}
+	if c.Engine != EngineEvent && c.Engine != EngineTick {
+		panic(fmt.Sprintf("sim: unknown engine %q (want %q or %q)", c.Engine, EngineEvent, EngineTick))
 	}
 	if c.SchedInterval <= 0 {
 		c.SchedInterval = 60
@@ -116,6 +143,17 @@ type jobState struct {
 	effSum, runTime  float64
 	tputSum, goodSum float64
 	exampleSum       float64
+
+	// Event-engine state (engine_event.go). lastT is the time training
+	// state was last advanced to; rate is the training rate frozen at the
+	// last event; version invalidates stale milestone predictions;
+	// predTarget is the progress value the pending milestone aims at;
+	// restartEv is the restart expiry already scheduled as an event.
+	lastT      float64
+	rate       jobRate
+	version    uint64
+	predTarget float64
+	restartEv  float64
 }
 
 func (j *jobState) progressFrac() float64 {
@@ -165,6 +203,7 @@ type Cluster struct {
 	provisioning int
 	provisionAt  float64
 	nodeSeconds  float64
+	lastCost     float64 // event engine: time nodeSeconds was integrated to
 
 	events []Event
 }
@@ -202,8 +241,18 @@ func NewCluster(trace workload.Trace, policy sched.Policy, cfg Config) *Cluster 
 	return c
 }
 
-// Run executes the simulation to completion (all jobs done or MaxTime).
+// Run executes the simulation to completion (all jobs done or MaxTime)
+// under the configured engine.
 func (c *Cluster) Run() Result {
+	if c.cfg.Engine == EngineTick {
+		return c.runTick()
+	}
+	return c.runEvent()
+}
+
+// runTick is the fixed-step engine: wall-clock advances by cfg.Tick and
+// every job's progress is accumulated tick by tick.
+func (c *Cluster) runTick() Result {
 	cfg := c.cfg
 	nextSched := 0.0
 	nextAgent := 0.0
