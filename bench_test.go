@@ -12,9 +12,11 @@ package repro
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -150,6 +152,16 @@ func BenchmarkFig10Autoscaling(b *testing.B) {
 	})
 }
 
+// BenchmarkDiurnal64Cluster regenerates the diurnal64 extension exhibit:
+// a 64-node cluster under a one-day (quick scale) diurnal-Poisson trace,
+// Pollux vs Tiresias+TunedJobs.
+func BenchmarkDiurnal64Cluster(b *testing.B) {
+	runExperiment(b, "diurnal64", map[string]string{
+		"Pollux/avgJCT":             "pollux-avgJCT-s",
+		"Tiresias+TunedJobs/avgJCT": "tiresias-avgJCT-s",
+	})
+}
+
 // BenchmarkValidateEfficiencyOnRealSGD is an extension exhibit: the
 // Eqn. 7 efficiency model checked against real data-parallel SGD runs
 // (internal/train) rather than the scripted model zoo.
@@ -157,6 +169,66 @@ func BenchmarkValidateEfficiencyOnRealSGD(b *testing.B) {
 	runExperiment(b, "validate", map[string]string{
 		"worstOff": "worst-actual/pred",
 	})
+}
+
+// BenchmarkSchedSerialVsParallel compares the serial and parallel
+// scheduler paths on the standard 16-node Pollux experiment setup, the
+// companion to BenchmarkEngineTickVsEvent for this layer. The ga/1 vs
+// ga/max ratio is the per-simulation speedup from concurrent GA fitness
+// evaluation; seeds/serial vs seeds/parallel adds the RunSeeds fan-out
+// over 4 seeds (paper-style repeated traces). Outputs are bit-identical
+// across all variants — the reported avgJCT-s metric makes that visible —
+// so on a >= 4-core host the ratios are pure wall-clock speedup.
+func BenchmarkSchedSerialVsParallel(b *testing.B) {
+	gaWorkers := runtime.GOMAXPROCS(0)
+	genTrace := func(rng *rand.Rand) workload.Trace {
+		return workload.Generate(rng, workload.Options{
+			Jobs: 40, Hours: 2, GPUsPerNode: 4, MaxGPUs: 64,
+		})
+	}
+	mkPollux := func(workers int) func(seed int64) sched.Policy {
+		return func(seed int64) sched.Policy {
+			return sched.NewPollux(sched.PolluxOptions{
+				Population: 20, Generations: 10, Workers: workers,
+			}, seed)
+		}
+	}
+	cfg := sim.Config{Nodes: 16, GPUsPerNode: 4, Tick: 1, UseTunedConfig: true}
+
+	single := []struct {
+		name    string
+		workers int
+	}{{"ga/1", 1}, {"ga/max", gaWorkers}}
+	for _, s := range single {
+		b.Run(s.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tr := genTrace(rng)
+			c := cfg
+			c.Seed = 1
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				res = sim.NewCluster(tr, mkPollux(s.workers)(1), c).Run()
+			}
+			b.ReportMetric(res.Summary.AvgJCT, "avgJCT-s")
+		})
+	}
+
+	multi := []struct {
+		name     string
+		parallel int
+		workers  int
+	}{{"seeds/serial", 1, 1}, {"seeds/parallel", runtime.GOMAXPROCS(0), gaWorkers}}
+	for _, m := range multi {
+		b.Run(m.name, func(b *testing.B) {
+			c := cfg
+			c.Parallel = m.parallel
+			var sum metrics.Summary
+			for i := 0; i < b.N; i++ {
+				sum = sim.RunSeeds([]int64{1, 2, 3, 4}, genTrace, mkPollux(m.workers), c)
+			}
+			b.ReportMetric(sum.AvgJCT, "avgJCT-s")
+		})
+	}
 }
 
 // BenchmarkEngineTickVsEvent compares the fixed-step and discrete-event

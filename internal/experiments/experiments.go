@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/metrics"
@@ -58,6 +59,14 @@ type Scale struct {
 	PolluxGens  int
 	// AutoscaleEpochs shrinks the ImageNet job for Fig. 10.
 	AutoscaleEpochs float64
+	// Days is the submission window of the Diurnal64 exhibit (64 nodes,
+	// multi-day inhomogeneous-Poisson arrivals); Jobs scales with it as
+	// the expected submissions per day.
+	Days float64
+	// Parallel bounds concurrent per-seed simulations (sim.Config.Parallel);
+	// 0 or 1 is serial. Per-seed runs are deterministic, so results do
+	// not depend on this.
+	Parallel int
 }
 
 // QuickScale finishes in seconds on the event engine; used by
@@ -70,6 +79,8 @@ func QuickScale() Scale {
 		Seeds: []int64{1, 2}, Tick: 4,
 		PolluxPop: 20, PolluxGens: 10,
 		AutoscaleEpochs: 4,
+		Days:            1,
+		Parallel:        runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -83,6 +94,11 @@ func FullScale() Scale {
 		Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8}, Tick: 2,
 		PolluxPop: 50, PolluxGens: 30,
 		AutoscaleEpochs: 8,
+		// 2 days keeps the diurnal64 exhibit in single-digit minutes on a
+		// multi-core host (a 3-day run measured ~25 min on one core; see
+		// EXPERIMENTS.md).
+		Days:     2,
+		Parallel: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -91,7 +107,7 @@ func All() []string {
 	return []string{
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6",
 		"table2", "fig7", "fig8", "table3", "fig9", "fig10",
-		"validate",
+		"diurnal64", "validate",
 	}
 }
 
@@ -122,6 +138,8 @@ func Run(id string, sc Scale) (Outcome, error) {
 		return Fig9(sc), nil
 	case "fig10":
 		return Fig10(sc), nil
+	case "diurnal64":
+		return Diurnal64(sc), nil
 	case "validate":
 		return Validate(sc), nil
 	default:

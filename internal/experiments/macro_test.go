@@ -21,6 +21,8 @@ func shortScale() Scale {
 		Seeds: []int64{1}, Tick: 4,
 		PolluxPop: 10, PolluxGens: 5,
 		AutoscaleEpochs: 2,
+		Days:            0.25,
+		Parallel:        2,
 	}
 }
 
@@ -33,6 +35,27 @@ func TestTable2ShortSmoke(t *testing.T) {
 		t.Fatalf("rows = %d, want 3 policies", len(o.Rows))
 	}
 	for _, name := range []string{"Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"} {
+		if o.Values[name+"/avgJCT"] <= 0 {
+			t.Errorf("%s: no JCT recorded", name)
+		}
+	}
+}
+
+// TestDiurnal64ShortSmoke runs the 64-node diurnal-Poisson exhibit end to
+// end at a quarter-day window under -short; the full multi-day version
+// runs via `pollux-bench -exp diurnal64`.
+func TestDiurnal64ShortSmoke(t *testing.T) {
+	o := Diurnal64(shortScale())
+	if len(o.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 policies", len(o.Rows))
+	}
+	for _, name := range []string{"Pollux", "Tiresias+TunedJobs"} {
+		if o.Values[name+"/total"] <= 0 {
+			t.Errorf("%s: no jobs simulated", name)
+		}
+		if o.Values[name+"/completed"] <= 0 {
+			t.Errorf("%s: no jobs completed", name)
+		}
 		if o.Values[name+"/avgJCT"] <= 0 {
 			t.Errorf("%s: no JCT recorded", name)
 		}

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 )
 
@@ -17,6 +18,59 @@ func BenchmarkGAStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Step()
+	}
+}
+
+// BenchmarkGAStepWorkers isolates the fitness fan-out: the same generation
+// under 1, 2, 4, and 8 workers with an artificially expensive fitness (the
+// real one runs golden-section searches on cache misses). The ns/op ratio
+// between workers/1 and workers/N is the scheduler-interval speedup on an
+// N-core host.
+func BenchmarkGAStepWorkers(b *testing.B) {
+	expensive := func(m Matrix) float64 {
+		f := simpleFitness(m)
+		for i := 0; i < 2000; i++ {
+			f += 1e-12 * float64(i%7)
+		}
+		return f
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers/"+strconv.Itoa(workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			prob := Problem{
+				Capacity:              []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4},
+				Jobs:                  30,
+				Fitness:               expensive,
+				InterferenceAvoidance: true,
+			}
+			g := New(prob, Options{Population: 50, Workers: workers}, rng, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRepairCapacityOverloaded is the worst case for repair: every
+// node far over capacity with many candidate jobs, which the old
+// re-scan-per-GPU implementation made quadratic.
+func BenchmarkRepairCapacityOverloaded(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	capacity := make([]int, 16)
+	for i := range capacity {
+		capacity[i] = 4
+	}
+	src := NewMatrix(100, 16)
+	for j := range src {
+		for n := range src[j] {
+			src[j][n] = 1 + rng.Intn(4)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := src.Clone()
+		RepairCapacity(m, capacity, rng)
 	}
 }
 

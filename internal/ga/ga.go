@@ -12,7 +12,10 @@ package ga
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Matrix is an allocation matrix A: Matrix[j][n] is the number of GPUs on
@@ -95,7 +98,9 @@ type Problem struct {
 	// Jobs is the number of rows in each allocation matrix.
 	Jobs int
 	// Fitness scores an allocation matrix; higher is better. It is
-	// called only on repaired (feasible) matrices.
+	// called only on repaired (feasible) matrices. It must be a pure
+	// function of the matrix and, when Options.Workers > 1, safe to call
+	// from multiple goroutines concurrently.
 	Fitness func(Matrix) float64
 	// InterferenceAvoidance enforces that at most one distributed job
 	// (a job spanning more than one node) occupies each node (Sec. 4.2.1).
@@ -107,6 +112,12 @@ type Problem struct {
 type Options struct {
 	Population int // default 100
 	Tournament int // tournament size for parent selection, default 3
+	// Workers bounds the goroutines evaluating Fitness concurrently;
+	// default GOMAXPROCS. Only fitness evaluation fans out — mutation,
+	// crossover, and repair stay on the caller's goroutine so the single
+	// *rand.Rand is never shared — and every offspring is scored into a
+	// fixed slot, so results are bit-identical to Workers: 1.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -116,10 +127,15 @@ func (o *Options) defaults() {
 	if o.Tournament <= 0 {
 		o.Tournament = 3
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
-// GA is the evolving population for one Problem. It is not safe for
-// concurrent use.
+// GA is the evolving population for one Problem. A GA is not safe for
+// concurrent use, but it internally fans fitness evaluation out over
+// Options.Workers goroutines (see Options); all stochastic operators run
+// on the caller's goroutine.
 type GA struct {
 	prob Problem
 	opts Options
@@ -133,13 +149,21 @@ type GA struct {
 // population carried over from the previous scheduling interval; may be
 // nil or partial). Seeds with the wrong shape are ignored; the rest of
 // the population is filled with repaired random matrices and the zero
-// matrix (all jobs paused), which is always feasible.
+// matrix (all jobs paused), which is always feasible. One slot is
+// reserved for the zero matrix even when the seeds alone would fill the
+// population, so "pause everything" is always representable — except at
+// Population 1, where the only slot goes to the first valid seed (a
+// carried-over current allocation beats an all-paused search there).
 func New(prob Problem, opts Options, rng *rand.Rand, seeds []Matrix) *GA {
 	opts.defaults()
 	g := &GA{prob: prob, opts: opts, rng: rng}
 	g.pop = make([]Matrix, 0, opts.Population)
+	seedSlots := opts.Population - 1
+	if opts.Population == 1 {
+		seedSlots = 1
+	}
 	for _, s := range seeds {
-		if len(g.pop) == opts.Population {
+		if len(g.pop) >= seedSlots {
 			break
 		}
 		if len(s) != prob.Jobs || (prob.Jobs > 0 && len(s[0]) != len(prob.Capacity)) {
@@ -164,10 +188,18 @@ func New(prob Problem, opts Options, rng *rand.Rand, seeds []Matrix) *GA {
 		g.pop = append(g.pop, m)
 	}
 	g.scores = make([]float64, len(g.pop))
-	for i, m := range g.pop {
-		g.scores[i] = prob.Fitness(m)
-	}
+	g.evalScores(g.pop, g.scores)
 	return g
+}
+
+// evalScores fills out[i] = Fitness(ms[i]) for every matrix, fanning the
+// calls out over at most Options.Workers goroutines. Each matrix is scored
+// into its own slot and Fitness is required to be pure, so the result is
+// independent of worker count and interleaving.
+func (g *GA) evalScores(ms []Matrix, out []float64) {
+	par.For(g.opts.Workers, len(ms), func(i int) {
+		out[i] = g.prob.Fitness(ms[i])
+	})
 }
 
 // Step runs one generation: mutate, crossover, repair, and survivor
@@ -192,6 +224,8 @@ func (g *GA) Step() {
 	}
 
 	// Survivor selection: keep the best Population among old + new.
+	offScores := make([]float64, len(offspring))
+	g.evalScores(offspring, offScores)
 	type scored struct {
 		m Matrix
 		f float64
@@ -200,8 +234,8 @@ func (g *GA) Step() {
 	for i, m := range g.pop {
 		all = append(all, scored{m, g.scores[i]})
 	}
-	for _, m := range offspring {
-		all = append(all, scored{m, g.prob.Fitness(m)})
+	for i, m := range offspring {
+		all = append(all, scored{m, offScores[i]})
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].f > all[j].f })
 	g.pop = g.pop[:0]
@@ -292,28 +326,33 @@ func (g *GA) repair(m Matrix) {
 
 // RepairCapacity decrements random positive elements within over-capacity
 // columns until every node's allocation fits its GPU capacity, as in the
-// paper's repair operation.
+// paper's repair operation. The candidate set (jobs with GPUs on the
+// node) is computed once per node and maintained in place as jobs hit
+// zero, so repair is linear in jobs + excess rather than quadratic.
 func RepairCapacity(m Matrix, capacity []int, rng *rand.Rand) {
+	var cand []int
 	for n := range capacity {
 		over := m.NodeUsage(n) - capacity[n]
-		for over > 0 {
-			// Pick a random job with GPUs on this node.
-			candidates := candidates(m, n)
-			j := candidates[rng.Intn(len(candidates))]
+		if over <= 0 {
+			continue
+		}
+		cand = cand[:0]
+		for j := range m {
+			if m[j][n] > 0 {
+				cand = append(cand, j)
+			}
+		}
+		for ; over > 0; over-- {
+			// Shed one GPU from a random job still on this node.
+			i := rng.Intn(len(cand))
+			j := cand[i]
 			m[j][n]--
-			over--
+			if m[j][n] == 0 {
+				cand[i] = cand[len(cand)-1]
+				cand = cand[:len(cand)-1]
+			}
 		}
 	}
-}
-
-func candidates(m Matrix, n int) []int {
-	var out []int
-	for j := range m {
-		if m[j][n] > 0 {
-			out = append(out, j)
-		}
-	}
-	return out
 }
 
 // RepairInterference removes distributed jobs (spanning > 1 node) from

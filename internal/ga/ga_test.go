@@ -146,6 +146,45 @@ func TestRepairProperty(t *testing.T) {
 	}
 }
 
+func TestRepairCapacityHeavyOverload(t *testing.T) {
+	// A node overloaded by many jobs at once (the worst case for the old
+	// per-GPU re-scan) must still be repaired to exactly its capacity,
+	// only ever by decrementing, and without touching other columns.
+	rng := rand.New(rand.NewSource(21))
+	jobs, nodes := 40, 8
+	capacity := make([]int, nodes)
+	for n := range capacity {
+		capacity[n] = 4
+	}
+	m := NewMatrix(jobs, nodes)
+	for j := range m {
+		for n := range m[j] {
+			m[j][n] = rng.Intn(4)
+		}
+	}
+	orig := m.Clone()
+	RepairCapacity(m, capacity, rng)
+	for n := range capacity {
+		if m.NodeUsage(n) > capacity[n] {
+			t.Errorf("node %d still over capacity: %d", n, m.NodeUsage(n))
+		}
+		if orig.NodeUsage(n) >= capacity[n] && m.NodeUsage(n) != min(orig.NodeUsage(n), capacity[n]) {
+			t.Errorf("node %d: usage %d, want exactly %d (shed only the excess)",
+				n, m.NodeUsage(n), capacity[n])
+		}
+	}
+	for j := range m {
+		for n := range m[j] {
+			if m[j][n] > orig[j][n] {
+				t.Errorf("repair increased m[%d][%d]: %d -> %d", j, n, orig[j][n], m[j][n])
+			}
+			if m[j][n] < 0 {
+				t.Errorf("negative allocation m[%d][%d] = %d", j, n, m[j][n])
+			}
+		}
+	}
+}
+
 // simpleFitness rewards total allocated GPUs with diminishing returns and
 // a mild spread penalty — shaped like the real speedup objective.
 func simpleFitness(m Matrix) float64 {
@@ -246,6 +285,78 @@ func TestGAZeroMatrixAlwaysInInitialPopulation(t *testing.T) {
 	}
 	if !found {
 		t.Error("zero matrix missing from initial population")
+	}
+}
+
+func TestGAZeroMatrixReservedWithFullSeeds(t *testing.T) {
+	// Even when carried-over seeds alone would fill the population (the
+	// common case: Pollux prepends the current allocation to the previous
+	// interval's population), one slot stays reserved for the zero matrix.
+	rng := rand.New(rand.NewSource(12))
+	prob := Problem{Capacity: []int{4, 4}, Jobs: 2, Fitness: simpleFitness}
+	seeds := make([]Matrix, 10)
+	for i := range seeds {
+		seeds[i] = Matrix{{2, 0}, {0, 2}}
+	}
+	g := New(prob, Options{Population: 8}, rng, seeds)
+	zero := NewMatrix(2, 2)
+	found := false
+	for _, m := range g.Population() {
+		if m.Equal(zero) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("zero matrix dropped when seeds fill the population")
+	}
+	if len(g.Population()) != 8 {
+		t.Errorf("population size = %d, want 8", len(g.Population()))
+	}
+}
+
+func TestGAPopulationOneKeepsSeed(t *testing.T) {
+	// With a single-member population the one slot must go to the seed
+	// (the scheduler's current allocation), not the zero matrix.
+	rng := rand.New(rand.NewSource(14))
+	prob := Problem{Capacity: []int{4, 4}, Jobs: 2, Fitness: simpleFitness}
+	seed := Matrix{{4, 0}, {0, 4}}
+	g := New(prob, Options{Population: 1}, rng, []Matrix{seed})
+	pop := g.Population()
+	if len(pop) != 1 {
+		t.Fatalf("population size = %d, want 1", len(pop))
+	}
+	if !pop[0].Equal(seed) {
+		t.Errorf("population = %v, want the seed %v", pop[0], seed)
+	}
+	// Without seeds, the single member is the zero matrix.
+	g = New(prob, Options{Population: 1}, rng, nil)
+	if !g.Population()[0].Equal(NewMatrix(2, 2)) {
+		t.Errorf("unseeded single member = %v, want zero matrix", g.Population()[0])
+	}
+}
+
+func TestGAWorkersBitIdentical(t *testing.T) {
+	// Concurrent fitness evaluation must not change results: offspring are
+	// scored into fixed slots and the rng never leaves the caller's
+	// goroutine, so any worker count reproduces the serial run exactly.
+	run := func(workers int) (Matrix, float64) {
+		rng := rand.New(rand.NewSource(77))
+		prob := Problem{
+			Capacity:              []int{4, 4, 4, 4},
+			Jobs:                  6,
+			Fitness:               simpleFitness,
+			InterferenceAvoidance: true,
+		}
+		g := New(prob, Options{Population: 30, Workers: workers}, rng, nil)
+		return g.Run(25)
+	}
+	m1, f1 := run(1)
+	m8, f8 := run(8)
+	if !m1.Equal(m8) {
+		t.Errorf("Workers 1 vs 8 best matrices differ:\n%v\n%v", m1, m8)
+	}
+	if f1 != f8 {
+		t.Errorf("Workers 1 vs 8 fitness differ: %v vs %v", f1, f8)
 	}
 }
 

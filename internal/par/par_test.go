@@ -1,0 +1,41 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		counts := make([]atomic.Int32, n)
+		For(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(4, 0, func(i int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForSlottedResultsMatchSerial(t *testing.T) {
+	const n = 200
+	fn := func(i int) float64 { return float64(i*i) / 7 }
+	serial := make([]float64, n)
+	For(1, n, func(i int) { serial[i] = fn(i) })
+	parallel := make([]float64, n)
+	For(8, n, func(i int) { parallel[i] = fn(i) })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package sched
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
 
 func BenchmarkPolluxScheduleInterval(b *testing.B) {
 	// One full scheduling interval at paper-like GA settings over a
@@ -9,6 +12,39 @@ func BenchmarkPolluxScheduleInterval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := NewPollux(PolluxOptions{Population: 50, Generations: 30}, int64(i))
+		p.Schedule(v)
+	}
+}
+
+// BenchmarkPolluxScheduleWorkers sweeps the GA fitness worker count over
+// one scheduling interval. On an N-core host the workers/1-to-workers/N
+// ns/op ratio is the per-interval speedup; outputs are bit-identical
+// across the sweep (TestPolluxWorkersDeterminism).
+func BenchmarkPolluxScheduleWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers/"+strconv.Itoa(workers), func(b *testing.B) {
+			v := viewWith(20, 16, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := NewPollux(PolluxOptions{
+					Population: 50, Generations: 30, Workers: workers,
+				}, int64(i))
+				p.Schedule(v)
+			}
+		})
+	}
+}
+
+// BenchmarkPolluxScheduleWarmCache measures consecutive intervals with an
+// unchanged job set: after the first interval every SPEEDUP cell the GA
+// visits is served from the cross-round cache, so later intervals skip
+// the golden-section searches entirely.
+func BenchmarkPolluxScheduleWarmCache(b *testing.B) {
+	v := viewWith(20, 16, 4)
+	p := NewPollux(PolluxOptions{Population: 50, Generations: 30}, 1)
+	p.Schedule(v) // warm the per-job tables
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		p.Schedule(v)
 	}
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ga"
@@ -13,17 +14,30 @@ import (
 // restart penalty 0.25, GPU-time threshold 4 GPU-hours with λ = 0.5, and
 // interference avoidance enabled.
 type PolluxOptions struct {
-	Population     int
-	Generations    int
+	Population  int
+	Generations int
+	// RestartPenalty is the per-job fitness penalty for re-allocations
+	// (Eqn. 14). The zero value takes the 0.25 default; set
+	// DisableRestartPenalty to make restarts genuinely free.
 	RestartPenalty float64
+	// DisableRestartPenalty forces a zero restart penalty. Without it an
+	// explicit RestartPenalty: 0 is indistinguishable from the zero value
+	// and was silently rewritten to the default.
+	DisableRestartPenalty bool
 	// GPUTimeThres is in GPU-seconds; weights decay for jobs beyond it
 	// (Eqn. 16). Lambda is the decay exponent; Lambda = 0 disables
-	// weighting entirely (all weights 1).
+	// weighting entirely (all weights 1). The zero value takes the
+	// 4-GPU-hour default; a negative value means an explicit zero
+	// threshold (every job with nonzero GPU time decays).
 	GPUTimeThres float64
 	Lambda       float64
 	// DisableInterferenceAvoidance turns off the Sec. 4.2.1 constraint
 	// (used by the Fig. 9 ablation).
 	DisableInterferenceAvoidance bool
+	// Workers bounds the goroutines used for concurrent GA fitness
+	// evaluation; default GOMAXPROCS. Results are bit-identical across
+	// worker counts (see ga.Options.Workers).
+	Workers int
 }
 
 func (o *PolluxOptions) defaults() {
@@ -33,29 +47,44 @@ func (o *PolluxOptions) defaults() {
 	if o.Generations <= 0 {
 		o.Generations = 100
 	}
-	if o.RestartPenalty == 0 {
+	if o.DisableRestartPenalty {
+		o.RestartPenalty = 0
+	} else if o.RestartPenalty == 0 {
 		o.RestartPenalty = 0.25
 	}
-	if o.GPUTimeThres == 0 {
+	if o.GPUTimeThres < 0 {
+		o.GPUTimeThres = 0
+	} else if o.GPUTimeThres == 0 {
 		o.GPUTimeThres = 4 * 3600 // 4 GPU-hours
 	}
 }
 
 // Pollux is the co-adaptive scheduler (Sec. 4.2). It keeps its GA
 // population between scheduling intervals to bootstrap the next
-// optimization, keyed by job ID so rows survive arrivals and departures.
+// optimization, keyed by job ID so rows survive arrivals and departures,
+// and likewise carries each job's memoized SPEEDUP table across intervals
+// until the job's reported model changes.
 type Pollux struct {
 	opts PolluxOptions
 	rng  *rand.Rand
 
 	prevPop  []ga.Matrix
 	prevJobs []int // job IDs aligned with prevPop rows
+
+	// tables caches per-job speedup tables across scheduling intervals,
+	// keyed by job ID. An entry is reused only while the job's reported
+	// model and the table dimensions are unchanged (see cachedTable).
+	tables map[int]*speedupTable
 }
 
 // NewPollux creates a PolluxSched instance with its own deterministic RNG.
 func NewPollux(opts PolluxOptions, seed int64) *Pollux {
 	opts.defaults()
-	return &Pollux{opts: opts, rng: rand.New(rand.NewSource(seed))}
+	return &Pollux{
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		tables: make(map[int]*speedupTable),
+	}
 }
 
 func (p *Pollux) Name() string          { return "pollux" }
@@ -63,21 +92,28 @@ func (p *Pollux) AdaptsBatchSize() bool { return true }
 
 // speedupTable lazily memoizes SPEEDUP_j(K, N) per job. Fitness evaluation
 // touches the same few placements thousands of times per interval; the
-// underlying golden-section searches are far too slow to repeat.
+// underlying golden-section searches are far too slow to repeat. Cells are
+// atomic float64 bit patterns so concurrent fitness workers can fill the
+// table race-free: the model is a pure function, so two workers computing
+// the same cell store bit-identical values and either store may win.
 type speedupTable struct {
 	model  core.Model
 	gpuCap int
 	denom  float64 // max_m GOODPUT(1, m)
-	cells  []float64
+	cells  []uint64
 	nodes  int
 	maxK   int
 }
 
+// unsetCell marks a cell not yet computed. Speedups are finite and
+// non-negative, so the bit pattern of -1 can never be a real value.
+var unsetCell = math.Float64bits(-1)
+
 func newSpeedupTable(model core.Model, gpuCap, maxK, nodes int) *speedupTable {
 	t := &speedupTable{model: model, gpuCap: gpuCap, nodes: nodes, maxK: maxK}
-	t.cells = make([]float64, (maxK+1)*(nodes+1))
+	t.cells = make([]uint64, (maxK+1)*(nodes+1))
 	for i := range t.cells {
-		t.cells[i] = -1
+		t.cells[i] = unsetCell
 	}
 	if _, d, ok := model.OptimalBatch(core.SingleGPU); ok {
 		t.denom = d
@@ -87,7 +123,8 @@ func newSpeedupTable(model core.Model, gpuCap, maxK, nodes int) *speedupTable {
 
 // Speedup returns SPEEDUP for (K GPUs, N nodes), honoring the exploration
 // cap: allocations beyond the cap score zero, which makes them strictly
-// worse than pausing plus reallocating those GPUs elsewhere.
+// worse than pausing plus reallocating those GPUs elsewhere. It is safe
+// for concurrent use.
 func (t *speedupTable) Speedup(k, n int) float64 {
 	if k <= 0 || t.denom <= 0 {
 		return 0
@@ -96,15 +133,51 @@ func (t *speedupTable) Speedup(k, n int) float64 {
 		return 0
 	}
 	idx := k*(t.nodes+1) + n
-	if v := t.cells[idx]; v >= 0 {
-		return v
+	if bits := atomic.LoadUint64(&t.cells[idx]); bits != unsetCell {
+		return math.Float64frombits(bits)
 	}
 	v := 0.0
 	if _, num, ok := t.model.OptimalBatch(core.Placement{GPUs: k, Nodes: n}); ok {
 		v = num / t.denom
 	}
-	t.cells[idx] = v
+	atomic.StoreUint64(&t.cells[idx], math.Float64bits(v))
 	return v
+}
+
+// cachedTable returns the cross-round speedup table for a job, reusing the
+// previous interval's table (with every cell already computed for the
+// placements the GA visited) when the job's reported model, exploration
+// cap, and table dimensions are unchanged. Any change — an agent refit, a
+// noise-scale update, a new cluster size — produces a model or dimension
+// mismatch and rebuilds the table from scratch. Phi is part of the model,
+// so a job actively making progress (whose noise scale moves every agent
+// round) rebuilds each interval; the cache pays off for paused and queued
+// jobs — exactly the rows that pile up when the cluster is backlogged,
+// which is when the GA is most expensive.
+func (p *Pollux) cachedTable(j JobView, maxK, nodes int) *speedupTable {
+	if t, ok := p.tables[j.ID]; ok &&
+		t.model == j.Model && t.gpuCap == j.GPUCap && t.maxK == maxK && t.nodes == nodes {
+		return t
+	}
+	t := newSpeedupTable(j.Model, j.GPUCap, maxK, nodes)
+	p.tables[j.ID] = t
+	return t
+}
+
+// pruneTables drops cached speedup tables for jobs no longer in the view.
+func (p *Pollux) pruneTables(jobs []JobView) {
+	if len(p.tables) <= len(jobs) {
+		return
+	}
+	live := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		live[j.ID] = true
+	}
+	for id := range p.tables {
+		if !live[id] {
+			delete(p.tables, id)
+		}
+	}
 }
 
 // Schedule runs the genetic algorithm over allocation matrices and
@@ -115,14 +188,16 @@ func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
 	nJobs := len(jobs)
 	if nJobs == 0 {
 		p.prevPop, p.prevJobs = nil, nil
+		p.pruneTables(nil)
 		return ga.NewMatrix(0, len(v.Capacity))
 	}
 	maxK := v.TotalGPUs()
 
+	p.pruneTables(jobs)
 	tables := make([]*speedupTable, nJobs)
 	weights := make([]float64, nJobs)
 	for i, j := range jobs {
-		tables[i] = newSpeedupTable(j.Model, j.GPUCap, maxK, len(v.Capacity))
+		tables[i] = p.cachedTable(j, maxK, len(v.Capacity))
 		weights[i] = p.weight(j.GPUTime)
 	}
 
@@ -168,7 +243,7 @@ func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
 	if v.Current != nil && len(v.Current) == nJobs {
 		seeds = append([]ga.Matrix{v.Current}, seeds...)
 	}
-	g := ga.New(prob, ga.Options{Population: p.opts.Population}, p.rng, seeds)
+	g := ga.New(prob, ga.Options{Population: p.opts.Population, Workers: p.opts.Workers}, p.rng, seeds)
 	best, _ := g.Run(p.opts.Generations)
 
 	// Save the population for the next interval.
@@ -221,9 +296,17 @@ func (p *Pollux) ClusterUtility(v *ClusterView, nodes, generations int) float64 
 		Jobs:                  len(v.Jobs),
 		Fitness:               fitness,
 		InterferenceAvoidance: !p.opts.DisableInterferenceAvoidance,
-	}, ga.Options{Population: p.opts.Population / 2}, p.rng, nil)
+	}, ga.Options{Population: utilityPopulation(p.opts.Population), Workers: p.opts.Workers}, p.rng, nil)
 	_, best := g.Run(generations)
 	return best / float64(totalGPUs)
+}
+
+// utilityPopulation is the GA population for the short ClusterUtility
+// searches: half the configured population, clamped to at least 1 so a
+// tiny configured search is not silently re-defaulted to 100 inside
+// ga.New.
+func utilityPopulation(configured int) int {
+	return max(1, configured/2)
 }
 
 // DesiredClusterNodes implements the Sec. 4.2.2 cloud autoscaling

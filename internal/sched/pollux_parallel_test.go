@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+)
+
+// TestPolluxWorkersDeterminism is the contract the parallel GA must keep:
+// for a fixed seed, Workers: 1 and Workers: 8 produce identical Schedule
+// output, including across intervals with population carry-over and warm
+// speedup caches.
+func TestPolluxWorkersDeterminism(t *testing.T) {
+	run := func(workers int) []ga.Matrix {
+		p := NewPollux(PolluxOptions{Population: 20, Generations: 10, Workers: workers}, 7)
+		var out []ga.Matrix
+		v := viewWith(6, 4, 4)
+		for round := 0; round < 3; round++ {
+			m := p.Schedule(v)
+			out = append(out, m)
+			v.Current = m // apply, so restart penalties and seeds engage
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if !serial[i].Equal(parallel[i]) {
+			t.Errorf("round %d: Workers 1 vs 8 schedules differ:\n%v\n%v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestPolluxZeroRestartPenaltyStaysZero(t *testing.T) {
+	p := NewPollux(PolluxOptions{DisableRestartPenalty: true}, 1)
+	if p.opts.RestartPenalty != 0 {
+		t.Errorf("DisableRestartPenalty: penalty = %v, want 0", p.opts.RestartPenalty)
+	}
+	// The zero value still takes the paper default.
+	p = NewPollux(PolluxOptions{}, 1)
+	if p.opts.RestartPenalty != 0.25 {
+		t.Errorf("default penalty = %v, want 0.25", p.opts.RestartPenalty)
+	}
+	// An explicit nonzero penalty is preserved.
+	p = NewPollux(PolluxOptions{RestartPenalty: 0.5}, 1)
+	if p.opts.RestartPenalty != 0.5 {
+		t.Errorf("explicit penalty = %v, want 0.5", p.opts.RestartPenalty)
+	}
+}
+
+func TestPolluxZeroGPUTimeThres(t *testing.T) {
+	// A negative threshold means an explicit zero: with λ > 0 every job
+	// with nonzero GPU time decays, which was previously inexpressible.
+	p := NewPollux(PolluxOptions{GPUTimeThres: -1, Lambda: 0.5}, 1)
+	if p.opts.GPUTimeThres != 0 {
+		t.Errorf("explicit zero threshold = %v, want 0", p.opts.GPUTimeThres)
+	}
+	if w := p.weight(0); w != 1 {
+		t.Errorf("weight at zero GPU time = %v, want 1", w)
+	}
+	if w := p.weight(3600); w != 0 {
+		t.Errorf("weight beyond zero threshold = %v, want 0", w)
+	}
+	// The zero value still takes the 4-GPU-hour default.
+	p = NewPollux(PolluxOptions{}, 1)
+	if p.opts.GPUTimeThres != 4*3600 {
+		t.Errorf("default threshold = %v, want %v", p.opts.GPUTimeThres, 4*3600)
+	}
+}
+
+func TestSpeedupTableCachedAcrossRounds(t *testing.T) {
+	v := viewWith(3, 4, 4)
+	p := NewPollux(PolluxOptions{Population: 10, Generations: 5}, 8)
+	p.Schedule(v)
+	first := p.tables[v.Jobs[0].ID]
+	if first == nil {
+		t.Fatal("no speedup table cached after Schedule")
+	}
+	// Unchanged model: the table (with its computed cells) is reused.
+	p.Schedule(v)
+	if p.tables[v.Jobs[0].ID] != first {
+		t.Error("speedup table rebuilt despite unchanged model")
+	}
+	// A model refit (here: the reported noise scale moves) invalidates
+	// exactly that job's table.
+	keep := p.tables[v.Jobs[1].ID]
+	v.Jobs[0].Model.Phi *= 2
+	p.Schedule(v)
+	if p.tables[v.Jobs[0].ID] == first {
+		t.Error("speedup table not invalidated by model change")
+	}
+	if p.tables[v.Jobs[1].ID] != keep {
+		t.Error("unrelated job's table invalidated")
+	}
+}
+
+func TestSpeedupTablePrunedForDepartedJobs(t *testing.T) {
+	v := viewWith(4, 4, 4)
+	p := NewPollux(PolluxOptions{Population: 10, Generations: 5}, 9)
+	p.Schedule(v)
+	if len(p.tables) != 4 {
+		t.Fatalf("cached tables = %d, want 4", len(p.tables))
+	}
+	small := viewWith(2, 4, 4) // jobs 2 and 3 departed
+	p.Schedule(small)
+	if len(p.tables) != 2 {
+		t.Errorf("cached tables after departures = %d, want 2", len(p.tables))
+	}
+	empty := &ClusterView{Capacity: v.Capacity}
+	p.Schedule(empty)
+	if len(p.tables) != 0 {
+		t.Errorf("cached tables after empty view = %d, want 0", len(p.tables))
+	}
+}
+
+func TestUtilityPopulationClamp(t *testing.T) {
+	cases := []struct{ configured, want int }{
+		{1, 1}, {2, 1}, {3, 1}, {4, 2}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := utilityPopulation(c.configured); got != c.want {
+			t.Errorf("utilityPopulation(%d) = %d, want %d", c.configured, got, c.want)
+		}
+	}
+}
+
+func TestClusterUtilityTinyPopulation(t *testing.T) {
+	// A Population: 1 configuration must stay a 1-member search (the old
+	// code passed 1/2 = 0 to ga.New, which re-defaulted to 100) and still
+	// produce a sane utility.
+	v := viewWith(3, 4, 4)
+	p := NewPollux(PolluxOptions{Population: 1, Generations: 3}, 10)
+	u := p.ClusterUtility(v, 4, 3)
+	if u < 0 || u > 1+1e-9 {
+		t.Errorf("utility = %v, want in [0, 1]", u)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// MaxTime caps the simulation (default 14 days).
 	MaxTime float64
 	Seed    int64
+	// Parallel bounds how many seeds RunSeeds simulates concurrently
+	// (each seed owns a fresh rng, trace, and policy, so seeds are
+	// independent); 0 or 1 runs them serially. Results are identical
+	// either way: every seed's run is deterministic and summaries are
+	// reduced in seed order.
+	Parallel int
 	// Autoscale enables Sec. 4.2.2 multi-job cluster autoscaling: Nodes
 	// then acts as the maximum cluster size and the active size varies.
 	Autoscale *ClusterAutoscaleConfig
@@ -499,21 +506,26 @@ func (c *Cluster) result() Result {
 
 // RunSeeds runs the same trace parameters across several seeds (fresh
 // traces and policies per seed, as in Sec. 5.3) and averages summaries.
-// newPolicy must return a fresh policy for each seed.
+// newPolicy must return a fresh policy for each seed. When cfg.Parallel
+// is above 1, that many seeds are simulated concurrently; every seed's
+// run is deterministic and results land in per-seed slots reduced in
+// seed order, so the average is identical to a serial run.
 func RunSeeds(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
 	newPolicy func(seed int64) sched.Policy, cfg Config) metrics.Summary {
-	var runs []metrics.Summary
-	var tputs, goods []float64
-	for _, seed := range seeds {
+	runs := make([]metrics.Summary, len(seeds))
+	tputs := make([]float64, len(seeds))
+	goods := make([]float64, len(seeds))
+	runOne := func(i int, seed int64) {
 		rng := rand.New(rand.NewSource(seed))
 		trace := genTrace(rng)
 		c := cfg
 		c.Seed = seed
 		res := NewCluster(trace, newPolicy(seed), c).Run()
-		runs = append(runs, res.Summary)
-		tputs = append(tputs, res.AvgThroughput)
-		goods = append(goods, res.AvgGoodput)
+		runs[i] = res.Summary
+		tputs[i] = res.AvgThroughput
+		goods[i] = res.AvgGoodput
 	}
+	par.For(cfg.Parallel, len(seeds), func(i int) { runOne(i, seeds[i]) })
 	avg := metrics.Average(runs)
 	avg.AvgThroughputX = metrics.Mean(tputs)
 	avg.AvgGoodputX = metrics.Mean(goods)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -210,6 +211,29 @@ func TestRunSeedsAverages(t *testing.T) {
 	}
 	if sum.AvgJCT <= 0 {
 		t.Errorf("averaged AvgJCT = %v", sum.AvgJCT)
+	}
+}
+
+// TestRunSeedsParallelMatchesSerial pins the Config.Parallel contract:
+// per-seed runs are independent and deterministic, and summaries reduce
+// in seed order, so concurrent fan-out reproduces the serial result
+// exactly — every float64 included.
+func TestRunSeedsParallelMatchesSerial(t *testing.T) {
+	gen := func(rng *rand.Rand) workload.Trace {
+		return smallOnly(workload.Generate(rng, workload.Options{Jobs: 8, Hours: 0.25}))
+	}
+	run := func(parallel int) metrics.Summary {
+		cfg := fastCfg(0)
+		cfg.Parallel = parallel
+		return RunSeeds([]int64{1, 2, 3}, gen, fastPollux, cfg)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Errorf("parallel RunSeeds diverged from serial:\n%+v\n%+v", parallel, serial)
+	}
+	if serial.AvgJCT <= 0 {
+		t.Errorf("AvgJCT = %v, want > 0", serial.AvgJCT)
 	}
 }
 

@@ -51,6 +51,18 @@ type Trace struct {
 // matching the description of Fig. 6.
 var DiurnalWeights = []float64{1.0, 1.5, 2.5, 3.0, 2.5, 2.0, 1.5, 1.0}
 
+// DayCycle is a 24-hour diurnal rate profile (relative submission rate
+// per hour of day) for multi-day Poisson traces: quiet overnight, ramping
+// through the morning to an early-afternoon peak at ~3x the overnight
+// rate, and tapering through the evening — the same peak-to-trough ratio
+// as the Fig. 6 window, stretched over a full day.
+var DayCycle = []float64{
+	1.0, 1.0, 1.0, 1.0, 1.0, 1.1, // 00-06
+	1.3, 1.6, 2.0, 2.4, 2.7, 2.9, // 06-12
+	3.0, 3.0, 2.9, 2.7, 2.4, 2.1, // 12-18
+	1.8, 1.6, 1.4, 1.2, 1.1, 1.0, // 18-24
+}
+
 // Options controls trace generation.
 type Options struct {
 	Jobs  int     // number of submissions; default 160
@@ -60,6 +72,17 @@ type Options struct {
 	GPUsPerNode int
 	// MaxGPUs caps tuned/user GPU counts; default 16.
 	MaxGPUs int
+	// Poisson switches submission times from exact-count inverse-CDF
+	// sampling to an inhomogeneous Poisson process whose hourly rate
+	// follows Cycle, repeated over the window. Jobs then becomes the
+	// EXPECTED number of submissions (the realized count is random),
+	// which is the natural model for multi-day diurnal traces with job
+	// churn rather than a fixed batch of arrivals.
+	Poisson bool
+	// Cycle is the relative submission rate per hour, tiled cyclically
+	// across the window (only used when Poisson is set). Default
+	// DayCycle, the 24-hour diurnal profile.
+	Cycle []float64
 }
 
 func (o *Options) defaults() {
@@ -84,16 +107,27 @@ func Generate(rng *rand.Rand, opts Options) Trace {
 	zoo := models.Zoo()
 	duration := opts.Hours * 3600
 	tr := Trace{Duration: duration}
-	for i := 0; i < opts.Jobs; i++ {
-		spec := sampleModel(rng, zoo)
-		j := Job{
-			ID:     i,
-			Model:  spec.Name,
-			Submit: sampleSubmit(rng, opts.Hours),
+	if opts.Poisson {
+		// Arrival times come from the Poisson process (which fixes the
+		// job count) before any per-job draws; the per-job draw order
+		// below then matches the exact-count path.
+		for i, submit := range poissonSubmits(rng, opts) {
+			tr.Jobs = append(tr.Jobs, makeJob(rng, zoo, opts, i, submit))
 		}
-		j.TunedGPUs, j.TunedBatch = TunedConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
-		j.UserGPUs, j.UserBatch = UserConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
-		tr.Jobs = append(tr.Jobs, j)
+	} else {
+		// Draw order (model, submit, configs per job) is load-bearing:
+		// existing fixed-seed traces must stay bit-identical.
+		for i := 0; i < opts.Jobs; i++ {
+			spec := sampleModel(rng, zoo)
+			j := Job{
+				ID:     i,
+				Model:  spec.Name,
+				Submit: sampleSubmit(rng, opts.Hours),
+			}
+			j.TunedGPUs, j.TunedBatch = TunedConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+			j.UserGPUs, j.UserBatch = UserConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+			tr.Jobs = append(tr.Jobs, j)
+		}
 	}
 	// Sort by submission time while keeping IDs stable.
 	for i := 1; i < len(tr.Jobs); i++ {
@@ -102,6 +136,57 @@ func Generate(rng *rand.Rand, opts Options) Trace {
 		}
 	}
 	return tr
+}
+
+// makeJob draws one job's model and configurations for a known
+// submission time.
+func makeJob(rng *rand.Rand, zoo []*models.Spec, opts Options, id int, submit float64) Job {
+	spec := sampleModel(rng, zoo)
+	j := Job{
+		ID:     id,
+		Model:  spec.Name,
+		Submit: submit,
+	}
+	j.TunedGPUs, j.TunedBatch = TunedConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+	j.UserGPUs, j.UserBatch = UserConfig(rng, spec, opts.GPUsPerNode, opts.MaxGPUs)
+	return j
+}
+
+// poissonSubmits draws submission times from an inhomogeneous Poisson
+// process over [0, Hours) by thinning: candidate arrivals are generated
+// at the cycle's peak rate and accepted with probability λ(t)/λmax. The
+// rate is normalized so the expected number of arrivals over the window
+// is opts.Jobs.
+func poissonSubmits(rng *rand.Rand, opts Options) []float64 {
+	cycle := opts.Cycle
+	if len(cycle) == 0 {
+		cycle = DayCycle
+	}
+	// Integral of the cycle weights over the window, in weight·hours.
+	integral := 0.0
+	maxW := 0.0
+	for h := 0; h < int(math.Ceil(opts.Hours)); h++ {
+		w := cycle[h%len(cycle)]
+		span := math.Min(opts.Hours-float64(h), 1)
+		integral += w * span
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if integral <= 0 || maxW <= 0 || opts.Jobs <= 0 {
+		return nil
+	}
+	// λ(t) = Jobs * w(t)/integral submissions per hour; thin from λmax.
+	scale := float64(opts.Jobs) / integral
+	lambdaMax := scale * maxW
+	var submits []float64
+	for t := rng.ExpFloat64() / lambdaMax; t < opts.Hours; t += rng.ExpFloat64() / lambdaMax {
+		w := cycle[int(t)%len(cycle)]
+		if rng.Float64()*maxW < w {
+			submits = append(submits, t*3600)
+		}
+	}
+	return submits
 }
 
 // sampleModel draws a zoo spec according to the Table 1 fractions.

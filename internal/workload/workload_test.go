@@ -209,3 +209,78 @@ func TestGenerateCustomSize(t *testing.T) {
 		}
 	}
 }
+
+func genPoisson(seed int64, jobs int, hours float64) Trace {
+	return Generate(rand.New(rand.NewSource(seed)), Options{
+		Jobs: jobs, Hours: hours, Poisson: true,
+	})
+}
+
+func TestPoissonExpectedCount(t *testing.T) {
+	// Jobs is the expected submission count; over a large trace the
+	// realized count concentrates around it (sd ~ sqrt(2000) ≈ 45).
+	tr := genPoisson(1, 2000, 72)
+	got := float64(len(tr.Jobs))
+	if got < 2000*0.88 || got > 2000*1.12 {
+		t.Errorf("realized jobs = %v, want within 12%% of 2000", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestPoissonFollowsDayCycle(t *testing.T) {
+	// Fold hourly counts onto the 24-hour cycle: the afternoon peak
+	// (hours 12-14, weight 3.0) must see substantially more submissions
+	// than the overnight trough (hours 0-5, weight 1.0).
+	tr := genPoisson(2, 6000, 240) // 10 days
+	byHour := make([]float64, 24)
+	for _, j := range tr.Jobs {
+		byHour[int(j.Submit/3600)%24]++
+	}
+	peak := (byHour[12] + byHour[13] + byHour[14]) / 3
+	trough := (byHour[0] + byHour[1] + byHour[2] + byHour[3] + byHour[4] + byHour[5]) / 6
+	if ratio := peak / trough; ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("peak/trough submission ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPoissonSortedAndInWindow(t *testing.T) {
+	tr := genPoisson(3, 500, 48)
+	for i, j := range tr.Jobs {
+		if j.Submit < 0 || j.Submit >= tr.Duration {
+			t.Fatalf("job %d submit %v outside [0, %v)", i, j.Submit, tr.Duration)
+		}
+		if i > 0 && j.Submit < tr.Jobs[i-1].Submit {
+			t.Fatalf("jobs not sorted at %d", i)
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := genPoisson(9, 300, 48), genPoisson(9, 300, 48)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestPoissonCustomCycle(t *testing.T) {
+	// A two-hour cycle with all mass in the first hour: every submission
+	// must land in an even hour.
+	tr := Generate(rand.New(rand.NewSource(4)), Options{
+		Jobs: 200, Hours: 24, Poisson: true, Cycle: []float64{1, 0},
+	})
+	if len(tr.Jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	for _, j := range tr.Jobs {
+		if int(j.Submit/3600)%2 != 0 {
+			t.Errorf("job %d submitted in zero-rate hour: %v", j.ID, j.Submit)
+		}
+	}
+}
