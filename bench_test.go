@@ -231,6 +231,39 @@ func BenchmarkSchedSerialVsParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAgentTickRefitWorkers isolates the per-round agent-refit
+// fan-out of the two-phase agentTick: the same 16-node Pollux simulation
+// with the L-BFGS refits serial (workers/1) vs fanned over all cores
+// (workers/max). Refits were ~44% of diurnal64 CPU, so on an N-core host
+// the ratio approaches the per-simulation ceiling of Amdahl's law for
+// that fraction; the reported avgJCT-s metric is identical across worker
+// counts, which is the determinism guarantee (rng draws stay on the
+// simulation goroutine; fits draw no randomness).
+func BenchmarkAgentTickRefitWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := workload.Generate(rng, workload.Options{
+		Jobs: 40, Hours: 2, GPUsPerNode: 4, MaxGPUs: 64,
+	})
+	cases := []struct {
+		name    string
+		workers int
+	}{{"workers/1", 1}, {"workers/max", runtime.GOMAXPROCS(0)}}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := sim.Config{
+				Nodes: 16, GPUsPerNode: 4, Tick: 1,
+				UseTunedConfig: true, Seed: 1, RefitWorkers: c.workers,
+			}
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				pol := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
+				res = sim.NewCluster(tr, pol, cfg).Run()
+			}
+			b.ReportMetric(res.Summary.AvgJCT, "avgJCT-s")
+		})
+	}
+}
+
 // BenchmarkEngineTickVsEvent compares the fixed-step and discrete-event
 // simulation engines on the standard 16-node trace at a 1-second tick,
 // per policy. The ns/op ratio between the tick and event sub-benchmarks

@@ -29,6 +29,8 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	parallel := flag.Int("parallel", 0,
 		"max per-seed simulations in flight (0 keeps the scale's default, GOMAXPROCS; 1 forces serial)")
+	refitWorkers := flag.Int("refitworkers", 0,
+		"max agent refits in flight per report round (0 defaults to GOMAXPROCS; 1 forces serial; results are identical either way)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -43,6 +45,9 @@ func main() {
 	}
 	if *parallel > 0 {
 		sc.Parallel = *parallel
+	}
+	if *refitWorkers > 0 {
+		sc.RefitWorkers = *refitWorkers
 	}
 
 	ids := experiments.All()

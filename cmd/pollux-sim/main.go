@@ -34,6 +34,8 @@ func main() {
 	engine := flag.String("engine", sim.EngineEvent, "simulation engine: event (discrete-event) or tick (fixed-step)")
 	tick := flag.Float64("tick", 2, "tick seconds (tick engine step / event engine profiling resolution)")
 	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
+	refitWorkers := flag.Int("refitworkers", 0,
+		"max agent refits in flight per report round (0 defaults to GOMAXPROCS; 1 forces serial; results are identical either way)")
 	events := flag.Int("events", 0, "print the last N scheduling events")
 	flag.Parse()
 
@@ -89,6 +91,7 @@ func main() {
 		UseTunedConfig:       !*user,
 		InterferenceSlowdown: *interference,
 		Seed:                 *seed,
+		RefitWorkers:         *refitWorkers,
 		LogEvents:            *events > 0,
 	}
 	res := sim.NewCluster(trace, p, cfg).Run()

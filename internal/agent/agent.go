@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gns"
+	"repro/internal/par"
 )
 
 // Agent is the per-job profiler/tuner. It is safe for concurrent use: the
@@ -34,6 +35,8 @@ type Agent struct {
 	fitted     core.Params
 	hasFit     bool
 	fitConfigs int // distinct configs at last fit
+	totalObs   int // observations recorded over the agent's lifetime
+	fitObs     int // totalObs at the last executed (full or warm) fit
 
 	phi     *gns.Tracker
 	lastPhi float64
@@ -92,6 +95,7 @@ func (a *Agent) RecordSampleN(pl core.Placement, batch int, tIter float64, n int
 	}
 	e.sumTIter += tIter * float64(n)
 	e.count += n
+	a.totalObs += n
 }
 
 // ObserveGradients folds one iteration's gradient statistics estimate into
@@ -112,18 +116,58 @@ func (a *Agent) SetPhi(phi float64) {
 	a.lastPhi = phi
 }
 
+// refitKind classifies what work a Refit call would do right now.
+const (
+	refitNone = iota // nothing worth refitting
+	refitWarm        // known configs re-averaged: single warm-started descent
+	refitFull        // new configuration profiled: full multi-start fit
+)
+
+// refitKindLocked decides between a full fit, a warm refresh, and a skip.
+// A new configuration always forces the full multi-start fit. With the
+// configuration set unchanged, repeated observations only tighten the
+// per-config averages, so the fit is refreshed by a cheap warm-started
+// descent (core.FitWarm) — and only once the observation count has grown
+// 50% past the last fit's. Re-anchoring the threshold at each executed
+// fit makes the cadence geometric: refreshes come quickly while a young
+// job's averages are still noisy and decay to rare as they converge,
+// instead of the former permanent skip that froze θsys between new
+// configurations.
+func (a *Agent) refitKindLocked() int {
+	if !a.hasFit || len(a.profile) != a.fitConfigs {
+		return refitFull
+	}
+	if a.fitObs > 0 && a.totalObs-a.fitObs >= (a.fitObs+1)/2 {
+		return refitWarm
+	}
+	return refitNone
+}
+
 // Refit re-estimates θsys from all profiled data (Sec. 4.1: periodic
-// RMSLE fit with L-BFGS-B under the exploration priors). When no new
-// configuration has been profiled since the last fit, the refit is
-// skipped: repeated observations of known configurations only tighten
-// their averages, which barely moves the fit but costs a full L-BFGS run.
+// RMSLE fit with L-BFGS-B under the exploration priors). A newly profiled
+// configuration triggers the full multi-start fit; repeated observations
+// of known configurations are absorbed by a warm-started single descent
+// on a geometrically decaying cadence (see refitKindLocked); otherwise
+// the call is a cheap no-op.
 func (a *Agent) Refit() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.hasFit && len(a.profile) == a.fitConfigs {
-		return
+	switch a.refitKindLocked() {
+	case refitFull:
+		a.refitLocked()
+	case refitWarm:
+		a.warmRefitLocked()
 	}
-	a.refitLocked()
+}
+
+// NeedsRefit reports whether a Refit call would actually run a fit now.
+// It is a pure predicate — staleness bookkeeping is anchored to executed
+// fits, not to skipped calls — so callers may filter agents with it and
+// fan only the dirty ones out to RefitAll without changing any result.
+func (a *Agent) NeedsRefit() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.refitKindLocked() != refitNone
 }
 
 // ForceRefit re-estimates θsys even without new configurations, absorbing
@@ -134,7 +178,10 @@ func (a *Agent) ForceRefit() {
 	a.refitLocked()
 }
 
-func (a *Agent) refitLocked() {
+// samplesLocked snapshots the profile as per-configuration mean samples.
+// Map iteration order is randomized; the slice is sorted so the loss is
+// summed in a fixed order and repeated runs produce bit-identical fits.
+func (a *Agent) samplesLocked() []core.Sample {
 	samples := make([]core.Sample, 0, len(a.profile))
 	for k, e := range a.profile {
 		samples = append(samples, core.Sample{
@@ -143,8 +190,6 @@ func (a *Agent) refitLocked() {
 			TIter:     e.sumTIter / float64(e.count),
 		})
 	}
-	// Map iteration order is randomized; sort so the loss is summed in a
-	// fixed order and repeated runs produce bit-identical fits.
 	sort.Slice(samples, func(i, j int) bool {
 		si, sj := samples[i], samples[j]
 		if si.Placement.GPUs != sj.Placement.GPUs {
@@ -155,13 +200,25 @@ func (a *Agent) refitLocked() {
 		}
 		return si.Batch < sj.Batch
 	})
+	return samples
+}
+
+func (a *Agent) refitLocked() {
 	prev := core.Params{}
 	if a.hasFit {
 		prev = a.fitted
 	}
-	a.fitted = core.Fit(samples, prev, a.explored)
+	a.fitted = core.Fit(a.samplesLocked(), prev, a.explored)
 	a.hasFit = true
 	a.fitConfigs = len(a.profile)
+	a.fitObs = a.totalObs
+}
+
+// warmRefitLocked refreshes the fit with a single warm-started descent
+// from the incumbent (core.FitWarm) and re-anchors the staleness cadence.
+func (a *Agent) warmRefitLocked() {
+	a.fitted = core.FitWarm(a.samplesLocked(), a.fitted, a.explored)
+	a.fitObs = a.totalObs
 }
 
 // Report returns the job's current goodput function — the (θsys, φt, m0)
@@ -225,4 +282,22 @@ func (a *Agent) SampleCount() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.profile)
+}
+
+// RefitAll batches one report round's refits: it filters the agents whose
+// Refit would actually run a fit (NeedsRefit) on the caller's goroutine,
+// then fans those L-BFGS runs out over at most workers goroutines via the
+// shared internal/par pool. Each fit depends only on its own agent's
+// profile and draws no randomness, so the fitted models — and therefore
+// every downstream trace — are bit-identical at any worker count; callers
+// keep their rng draws on their own goroutine around this call. workers
+// <= 1 runs the fits inline.
+func RefitAll(agents []*Agent, workers int) {
+	dirty := make([]*Agent, 0, len(agents))
+	for _, a := range agents {
+		if a.NeedsRefit() {
+			dirty = append(dirty, a)
+		}
+	}
+	par.For(workers, len(dirty), func(i int) { dirty[i].Refit() })
 }

@@ -200,3 +200,100 @@ func TestConcurrentUse(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestRefitAllWorkersDeterminism: fanning a report round's refits over
+// any worker count must leave every agent with the bit-identical fitted
+// model — the contract that lets sim.agentTick parallelize refits without
+// perturbing traces.
+func TestRefitAllWorkersDeterminism(t *testing.T) {
+	truth := models.ByName("resnet18").Truth
+	pls := []core.Placement{
+		{GPUs: 1, Nodes: 1}, {GPUs: 2, Nodes: 1}, {GPUs: 4, Nodes: 2},
+	}
+	build := func() []*Agent {
+		rng := rand.New(rand.NewSource(7))
+		ags := make([]*Agent, 16)
+		for i := range ags {
+			a := newTestAgent()
+			feed(a, rng, truth, 0.1, pls, []int{128, 256, 512})
+			a.SetPhi(float64(1 + i))
+			ags[i] = a
+		}
+		return ags
+	}
+	serial := build()
+	RefitAll(serial, 1)
+	for _, workers := range []int{2, 8} {
+		parallel := build()
+		RefitAll(parallel, workers)
+		for i := range serial {
+			if serial[i].Report() != parallel[i].Report() {
+				t.Fatalf("agent %d: workers=%d report differs from serial:\n%+v\n%+v",
+					i, workers, serial[i].Report(), parallel[i].Report())
+			}
+		}
+	}
+}
+
+// TestWarmRefitConvergence: with the configuration set frozen, repeated
+// noisy observations must keep pulling the fit toward the ForceRefit
+// ground truth through the warm-start path — the regression target is the
+// former permanent skip, which froze θsys at the first full fit until a
+// new configuration appeared.
+func TestWarmRefitConvergence(t *testing.T) {
+	truth := models.ByName("resnet18").Truth
+	pls := []core.Placement{
+		{GPUs: 1, Nodes: 1}, {GPUs: 2, Nodes: 1}, {GPUs: 4, Nodes: 2},
+	}
+	batches := []int{128, 256}
+	warm := newTestAgent()
+	force := newTestAgent()
+	rng := rand.New(rand.NewSource(3))
+	profileRound := func() {
+		for _, pl := range pls {
+			for _, m := range batches {
+				ti := truth.TIter(pl, float64(m)) * (1 + 0.2*(rng.Float64()*2-1))
+				warm.RecordSample(pl, m, ti)
+				force.RecordSample(pl, m, ti)
+			}
+		}
+	}
+	profileRound()
+	warm.Refit()
+	force.Refit()
+	first := warm.Report().Params
+
+	warmRefits := 0
+	for round := 0; round < 60; round++ {
+		profileRound()
+		if warm.NeedsRefit() {
+			warmRefits++
+		}
+		warm.Refit()
+		force.ForceRefit()
+	}
+	if warmRefits == 0 {
+		t.Fatal("warm-refit path never triggered on re-averaged known configurations")
+	}
+	if got := warm.Report().Params; got == first {
+		t.Errorf("fit frozen at the first full fit: warm-start path did not absorb %d rounds of re-averaging", 60)
+	}
+
+	// Judge both fits against noiseless ground-truth samples: the cheap
+	// warm-start cadence must land within a modest factor of the full
+	// multi-start refit it replaces.
+	var clean []core.Sample
+	for _, pl := range pls {
+		for _, m := range batches {
+			clean = append(clean, core.Sample{
+				Placement: pl, Batch: m, TIter: truth.TIter(pl, float64(m)),
+			})
+		}
+	}
+	warmErr := core.RMSLE(warm.Report().Params, clean)
+	forceErr := core.RMSLE(force.Report().Params, clean)
+	t.Logf("warm refits executed: %d; RMSLE vs truth: warm %.4f, force %.4f", warmRefits, warmErr, forceErr)
+	if warmErr > forceErr*1.25+0.01 {
+		t.Errorf("warm-refit fit RMSLE %.4f too far above ForceRefit ground truth %.4f", warmErr, forceErr)
+	}
+}

@@ -132,7 +132,8 @@ func (t *Trainer) Run(network, addr string, submit float64) (float64, error) {
 		if simNow >= nextReport {
 			phi := t.Spec.Phi(t.Progress()) * (1 + 0.05*(rng.Float64()*2-1))
 			ag.SetPhi(phi)
-			ag.Refit()
+			// Shared batched-refit helper; a single agent runs inline.
+			agent.RefitAll([]*agent.Agent{ag}, 1)
 			if pl.GPUs > 0 {
 				b, _ := ag.TuneBatch(pl)
 				t.mu.Lock()

@@ -199,28 +199,7 @@ func Fit(samples []Sample, prev Params, explored Exploration) Params {
 		bounds.Clamp(v)
 		return ParamsFromVector(v)
 	}
-
-	// The observation logs are constant across the thousands of loss
-	// evaluations of one fit; precomputing them halves the log calls in
-	// the hot loop while producing bitwise-identical values to RMSLE.
-	logObs := make([]float64, len(samples))
-	for i, s := range samples {
-		logObs[i] = math.Log(math.Max(s.TIter, 1e-12))
-	}
-	n := float64(len(samples))
-	loss := func(v []float64) float64 {
-		p := ParamsFromVector(v)
-		sum := 0.0
-		for i, s := range samples {
-			pred := p.TIter(s.Placement, float64(s.Batch))
-			d := math.Log(math.Max(pred, 1e-12)) - logObs[i]
-			sum += d * d
-		}
-		return math.Sqrt(sum / n)
-	}
-	lossGrad := func(v []float64) []float64 {
-		return RMSLEGrad(ParamsFromVector(v), samples)
-	}
+	loss, lossGrad := rmsleLoss(samples)
 
 	// Fits run every agent interval for every job in the cluster, so the
 	// start list is kept short: a warm start from the previous fit plus a
@@ -261,6 +240,55 @@ func Fit(samples []Sample, prev Params, explored Exploration) Params {
 
 	res := opt.MultiStartGrad(loss, lossGrad, starts, bounds, opt.LBFGSBOptions{MaxIter: 150})
 	return ParamsFromVector(res.X)
+}
+
+// FitWarm refines an existing fit against an unchanged configuration set:
+// a single L-BFGS descent warm-started from prev, with no multi-start
+// sweep. It is the cheap path the agent uses when repeated observations of
+// already-profiled configurations have tightened their averages — the
+// incumbent is near the optimum of the barely-moved loss surface, so one
+// short descent absorbs the change at a fraction of Fit's cost. A zero
+// prev (or no data) falls back to the full Fit. Note the zero-sync-face
+// nudge of Fit is deliberately absent here: a warm start that already
+// explains its own data does not need it, and an incumbent stuck on the
+// flat face is re-examined at the next full fit when a new configuration
+// arrives.
+func FitWarm(samples []Sample, prev Params, explored Exploration) Params {
+	if prev == (Params{}) || len(samples) == 0 {
+		return Fit(samples, prev, explored)
+	}
+	bounds := explored.fitBounds()
+	loss, lossGrad := rmsleLoss(samples)
+	pv := prev.Vector()
+	bounds.Clamp(pv)
+	res := opt.MultiStartGrad(loss, lossGrad, [][]float64{pv}, bounds, opt.LBFGSBOptions{MaxIter: 60})
+	return ParamsFromVector(res.X)
+}
+
+// rmsleLoss builds the RMSLE objective and its analytic gradient over a
+// fixed sample set. The observation logs are constant across the thousands
+// of loss evaluations of one fit; precomputing them halves the log calls
+// in the hot loop while producing bitwise-identical values to RMSLE.
+func rmsleLoss(samples []Sample) (loss func([]float64) float64, grad func([]float64) []float64) {
+	logObs := make([]float64, len(samples))
+	for i, s := range samples {
+		logObs[i] = math.Log(math.Max(s.TIter, 1e-12))
+	}
+	n := float64(len(samples))
+	loss = func(v []float64) float64 {
+		p := ParamsFromVector(v)
+		sum := 0.0
+		for i, s := range samples {
+			pred := p.TIter(s.Placement, float64(s.Batch))
+			d := math.Log(math.Max(pred, 1e-12)) - logObs[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / n)
+	}
+	grad = func(v []float64) []float64 {
+		return RMSLEGrad(ParamsFromVector(v), samples)
+	}
+	return loss, grad
 }
 
 // defaultParams derives a heuristic starting point from the samples: the

@@ -58,7 +58,7 @@ func Diurnal64(sc Scale) Outcome {
 	cfg := sim.Config{
 		Nodes: nodes, GPUsPerNode: perNode,
 		Tick: sc.Tick, UseTunedConfig: true,
-		Parallel: sc.Parallel,
+		Parallel: sc.Parallel, RefitWorkers: sc.RefitWorkers,
 		// A one-day drain past the submission window bounds the run.
 		MaxTime: (days + 1) * 24 * 3600,
 	}

@@ -67,6 +67,10 @@ type Scale struct {
 	// 0 or 1 is serial. Per-seed runs are deterministic, so results do
 	// not depend on this.
 	Parallel int
+	// RefitWorkers bounds concurrent agent refits within one report round
+	// (sim.Config.RefitWorkers); 0 defaults to GOMAXPROCS, 1 is serial.
+	// Refits are deterministic, so results do not depend on this.
+	RefitWorkers int
 }
 
 // QuickScale finishes in seconds on the event engine; used by

@@ -45,7 +45,7 @@ func (sc Scale) simConfig() sim.Config {
 	return sim.Config{
 		Nodes: sc.Nodes, GPUsPerNode: sc.GPUsPerNode,
 		Tick: sc.Tick, UseTunedConfig: true,
-		Parallel: sc.Parallel,
+		Parallel: sc.Parallel, RefitWorkers: sc.RefitWorkers,
 	}
 }
 

@@ -92,3 +92,37 @@ func BenchmarkRepairCapacity(b *testing.B) {
 		RepairCapacity(m, capacity, rng)
 	}
 }
+
+// BenchmarkRepairInterference measures the interference repair on a
+// diurnal64-shaped matrix (80 jobs x 64 nodes, every job distributed
+// over 2-4 nodes — the ~7% hotspot from the diurnal64 profile). The
+// onepass case is the live implementation with incrementally maintained
+// per-job node counts; stable is the former rescan-until-stable
+// implementation (kept in ga_test.go as the behaviour oracle). Both
+// sub-benchmarks include one matrix Clone per iteration.
+func BenchmarkRepairInterference(b *testing.B) {
+	const jobs, nodes = 80, 64
+	rng := rand.New(rand.NewSource(3))
+	src := NewMatrix(jobs, nodes)
+	for j := range src {
+		for k, span := 0, 2+rng.Intn(3); k < span; k++ {
+			src[j][rng.Intn(nodes)] = 1 + rng.Intn(4)
+		}
+	}
+	impls := []struct {
+		name   string
+		repair func(Matrix, *rand.Rand)
+	}{
+		{"onepass", RepairInterference},
+		{"stable", repairInterferenceStable},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < b.N; i++ {
+				m := src.Clone()
+				impl.repair(m, rng)
+			}
+		})
+	}
+}

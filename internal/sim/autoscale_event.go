@@ -142,7 +142,8 @@ func runAutoscaleEvent(spec *models.Spec, scaler sched.Autoscaler, cfg Autoscale
 		case asAgent:
 			phi := spec.Phi(progress/total) * (1 + cfg.NoiseFrac*(rng.Float64()*2-1))
 			ag.SetPhi(phi)
-			ag.Refit()
+			// Shared batched-refit helper; a single agent runs inline.
+			agent.RefitAll([]*agent.Agent{ag}, 1)
 			pl := placement(nodesReady)
 			if cfg.AdaptBatchGoodput {
 				batch, _ = ag.TuneBatch(pl)

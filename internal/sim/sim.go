@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/agent"
 	"repro/internal/core"
@@ -79,6 +80,12 @@ type Config struct {
 	// either way: every seed's run is deterministic and summaries are
 	// reduced in seed order.
 	Parallel int
+	// RefitWorkers bounds how many agent refits (core.Fit L-BFGS runs)
+	// execute concurrently within one report round; 0 defaults to
+	// GOMAXPROCS and 1 runs them serially. The noise-scale rng draws stay
+	// on the simulation goroutine and fits draw no randomness, so traces
+	// are bit-identical at any worker count.
+	RefitWorkers int
 	// Autoscale enables Sec. 4.2.2 multi-job cluster autoscaling: Nodes
 	// then acts as the maximum cluster size and the active size varies.
 	Autoscale *ClusterAutoscaleConfig
@@ -117,6 +124,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxTime <= 0 {
 		c.MaxTime = 14 * 24 * 3600
+	}
+	if c.RefitWorkers <= 0 {
+		c.RefitWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.Autoscale != nil {
 		if c.Autoscale.MaxNodes > c.Nodes || c.Autoscale.MaxNodes <= 0 {
@@ -315,8 +325,19 @@ func (c *Cluster) active() []*jobState {
 }
 
 // agentTick refreshes every running job's fitted model, replayed noise
-// scale, and — under Pollux — its tuned batch size.
+// scale, and — under Pollux — its tuned batch size. It runs in three
+// phases so the per-round refits — the dominant CPU cost of large cluster
+// simulations — can fan out across cores without perturbing the trace:
+//
+//  1. serial: the noise-scale rng draws happen on the simulation
+//     goroutine in job order (the draw order is load-bearing for
+//     reproducibility) while the running jobs are collected;
+//  2. parallel: the L-BFGS refits of the agents that need one fan out
+//     over cfg.RefitWorkers goroutines (agent.RefitAll); fits touch no
+//     rng and no shared state, so results are bit-identical to serial;
+//  3. serial: batch re-tuning and event records, again in job order.
 func (c *Cluster) agentTick() {
+	var run []*jobState
 	for _, j := range c.active() {
 		if j.pl.GPUs == 0 {
 			continue
@@ -324,13 +345,21 @@ func (c *Cluster) agentTick() {
 		phi := j.spec.Phi(j.progressFrac())
 		phi *= 1 + c.cfg.NoiseFrac*(c.rng.Float64()*2-1)
 		j.agent.SetPhi(phi)
-		j.agent.Refit()
-		if c.policy.AdaptsBatchSize() {
-			prev := j.batch
-			j.batch, _ = j.agent.TuneBatch(j.pl)
-			if j.batch != prev {
-				c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventBatchChange, Batch: j.batch})
-			}
+		run = append(run, j)
+	}
+	agents := make([]*agent.Agent, len(run))
+	for i, j := range run {
+		agents[i] = j.agent
+	}
+	agent.RefitAll(agents, c.cfg.RefitWorkers)
+	if !c.policy.AdaptsBatchSize() {
+		return
+	}
+	for _, j := range run {
+		prev := j.batch
+		j.batch, _ = j.agent.TuneBatch(j.pl)
+		if j.batch != prev {
+			c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventBatchChange, Batch: j.batch})
 		}
 	}
 }
@@ -512,6 +541,15 @@ func (c *Cluster) result() Result {
 // seed order, so the average is identical to a serial run.
 func RunSeeds(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
 	newPolicy func(seed int64) sched.Policy, cfg Config) metrics.Summary {
+	// Concurrent seeds already saturate the cores; letting each seed's
+	// cluster also default RefitWorkers to GOMAXPROCS would run up to
+	// seeds x cores L-BFGS fits at once for no added throughput. Split
+	// the budget: an unset knob gets the cores left per concurrent seed.
+	// An explicit value is respected, and results are identical either
+	// way — worker counts never change traces.
+	if inFlight := min(cfg.Parallel, len(seeds)); inFlight > 1 && cfg.RefitWorkers == 0 {
+		cfg.RefitWorkers = max(1, runtime.GOMAXPROCS(0)/inFlight)
+	}
 	runs := make([]metrics.Summary, len(seeds))
 	tputs := make([]float64, len(seeds))
 	goods := make([]float64, len(seeds))

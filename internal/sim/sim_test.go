@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/metrics"
@@ -251,4 +252,34 @@ func TestJobStateProgressAccounting(t *testing.T) {
 // specFor resolves a zoo model by name for tests.
 func specFor(name string) *models.Spec {
 	return models.ByName(name)
+}
+
+// TestRefitWorkersDeterminism is the contract the two-phase agentTick
+// must keep: fanning the per-round agent refits over any worker count
+// produces the bit-identical Result — summaries, per-job records, and the
+// full event log — because the noise-scale rng draws stay on the
+// simulation goroutine and fits draw no randomness. Checked on both
+// engines.
+func TestRefitWorkersDeterminism(t *testing.T) {
+	tr := smallOnly(smallTrace(3, 14))
+	if len(tr.Jobs) < 4 {
+		t.Skip("trace too small after filtering")
+	}
+	for _, engine := range []string{EngineEvent, EngineTick} {
+		t.Run(engine, func(t *testing.T) {
+			run := func(workers int) Result {
+				cfg := fastCfg(5)
+				cfg.Engine = engine
+				cfg.LogEvents = true
+				cfg.RefitWorkers = workers
+				return NewCluster(tr, fastPollux(5), cfg).Run()
+			}
+			base := run(1)
+			for _, w := range []int{2, 8} {
+				if got := run(w); !reflect.DeepEqual(base, got) {
+					t.Fatalf("RefitWorkers=%d Result differs from RefitWorkers=1", w)
+				}
+			}
+		})
+	}
 }
