@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -258,6 +259,44 @@ func BenchmarkAgentTickRefitWorkers(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pol := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
 				res = sim.NewCluster(tr, pol, cfg).Run()
+			}
+			b.ReportMetric(res.Summary.AvgJCT, "avgJCT-s")
+		})
+	}
+}
+
+// BenchmarkReplayRound measures the unified testbed runtime: the
+// standard 16-node trace replayed through the live control path
+// (Service, agent reports, runtime.Step scheduling rounds) on virtual
+// time, with the in-process transport vs a real loopback net/rpc socket.
+// The us/round metric is the cost of one 60-second scheduling round of
+// testbed time including all trainer polling between rounds; avgJCT-s is
+// identical across transports (the replay determinism guarantee).
+func BenchmarkReplayRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := workload.Generate(rng, workload.Options{
+		Jobs: 40, Hours: 2, GPUsPerNode: 4, MaxGPUs: 64,
+	})
+	for _, overRPC := range []bool{false, true} {
+		name := "local"
+		if overRPC {
+			name = "rpc"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res cluster.ReplayResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = cluster.Replay(tr, sched.NewTiresias(), cluster.ReplayConfig{
+					Nodes: 16, GPUsPerNode: 4, UseTunedConfig: true,
+					Seed: 1, OverRPC: overRPC,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			rounds := res.Summary.Makespan / 60 // one scheduling round per 60 s
+			if rounds > 0 {
+				b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/rounds, "us/round")
 			}
 			b.ReportMetric(res.Summary.AvgJCT, "avgJCT-s")
 		})

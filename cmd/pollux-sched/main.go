@@ -7,31 +7,42 @@
 // Usage:
 //
 //	pollux-sched [-listen 127.0.0.1:7077] [-nodes 4] [-gpus 4]
-//	             [-interval 1s] [-population 50] [-generations 30]
+//	             [-compression 300] [-population 50] [-generations 30]
 //
-// Pair it with one or more `pollux-agent` processes pointed at the same
-// address.
+// Scheduling rounds fire every 60 simulated seconds on the shared
+// eventsim kernel, paced by a wall clock under -compression (simulated
+// seconds per wall-clock second; 300 means five rounds per wall
+// second). Use the same compression for the paired `pollux-agent`
+// processes — both default to 300 — so scheduler and trainers advance
+// simulated time at the same rate.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
-	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/eventsim"
 	"repro/internal/sched"
 )
+
+// schedInterval is the simulated-seconds scheduling period (Sec. 5.1).
+const schedInterval = 60
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7077", "address to serve the scheduler RPC on")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	gpus := flag.Int("gpus", 4, "GPUs per node")
-	interval := flag.Duration("interval", time.Second, "wall-clock scheduling interval")
+	compression := flag.Float64("compression", 300,
+		"simulated seconds per wall-clock second (match the pollux-agent -compression, default 300)")
 	population := flag.Int("population", 50, "GA population size")
 	generations := flag.Int("generations", 30, "GA generations per interval")
 	seed := flag.Int64("seed", 1, "GA random seed")
 	flag.Parse()
+	if *compression <= 0 {
+		log.Fatal("pollux-sched: -compression must be positive")
+	}
 
 	capacity := make([]int, *nodes)
 	for i := range capacity {
@@ -56,20 +67,20 @@ func main() {
 	policy := sched.NewPollux(sched.PolluxOptions{
 		Population: *population, Generations: *generations,
 	}, *seed)
-	simNow := 0.0
-	for {
-		n, err := svc.ScheduleOnce(policy, simNow)
-		if err != nil {
-			log.Printf("schedule: %v", err)
-		} else if n > 0 {
+	svc.RunRounds(policy, schedInterval, &eventsim.Wall{Compression: *compression}, nil,
+		func(now float64, n int, err error) {
+			if err != nil {
+				log.Printf("schedule: %v", err)
+				return
+			}
+			if n == 0 {
+				return
+			}
 			usage := state.Usage()
 			used := 0
 			for _, u := range usage {
 				used += u
 			}
-			log.Printf("scheduled %d jobs; GPUs in use %d/%d %v", n, used, *nodes**gpus, usage)
-		}
-		simNow += 60
-		time.Sleep(*interval)
-	}
+			log.Printf("t=%.0fs scheduled %d jobs; GPUs in use %d/%d %v", now, n, used, *nodes**gpus, usage)
+		})
 }

@@ -3,9 +3,17 @@
 //
 // Usage:
 //
-//	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick]
+//	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick|replay]
 //	           [-jobs 160] [-hours 8] [-nodes 16] [-gpus 4] [-seed 1]
 //	           [-user] [-interference 0.5]
+//
+// The replay engine feeds the trace through the live-testbed control
+// path (internal/cluster: Service, agent reports, scheduling rounds) on
+// virtual time instead of the simulator's in-memory jobs; add -rpc to
+// drive the agent boundary over a real loopback net/rpc socket. Replay
+// trainers step at a fixed 5 s tick and refit inline, so -tick and
+// -refitworkers do not apply; -interference and -events are rejected
+// (the testbed path has no interference injection or event log).
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -31,7 +40,9 @@ func main() {
 	user := flag.Bool("user", false, "use realistic user configs instead of tuned configs")
 	interference := flag.Float64("interference", 0, "artificial slowdown for co-located distributed jobs (0-0.9)")
 	noAvoid := flag.Bool("no-avoidance", false, "disable Pollux interference avoidance")
-	engine := flag.String("engine", sim.EngineEvent, "simulation engine: event (discrete-event) or tick (fixed-step)")
+	engine := flag.String("engine", sim.EngineEvent,
+		"simulation engine: event (discrete-event), tick (fixed-step), or replay (testbed control path on virtual time)")
+	overRPC := flag.Bool("rpc", false, "with -engine replay: drive the agent boundary over a loopback net/rpc socket")
 	tick := flag.Float64("tick", 2, "tick seconds (tick engine step / event engine profiling resolution)")
 	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
 	refitWorkers := flag.Int("refitworkers", 0,
@@ -65,8 +76,10 @@ func main() {
 		}
 	}
 
-	if *engine != sim.EngineEvent && *engine != sim.EngineTick {
-		fmt.Fprintf(os.Stderr, "unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineTick)
+	const engineReplay = "replay"
+	if *engine != sim.EngineEvent && *engine != sim.EngineTick && *engine != engineReplay {
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want %q, %q, or %q)\n",
+			*engine, sim.EngineEvent, sim.EngineTick, engineReplay)
 		os.Exit(2)
 	}
 
@@ -84,6 +97,42 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(2)
+	}
+
+	if *engine == engineReplay {
+		// The testbed control path has no interference injection or
+		// event logging; reject the flags rather than silently produce
+		// numbers that look comparable to the sim engines but are not.
+		if *interference != 0 {
+			fmt.Fprintln(os.Stderr, "-interference is not supported by -engine replay")
+			os.Exit(2)
+		}
+		if *events > 0 {
+			fmt.Fprintln(os.Stderr, "-events is not supported by -engine replay")
+			os.Exit(2)
+		}
+		rep, err := cluster.Replay(trace, p, cluster.ReplayConfig{
+			Nodes: *nodes, GPUsPerNode: *gpus,
+			UseTunedConfig: !*user, Seed: *seed, OverRPC: *overRPC,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		s := rep.Summary
+		fmt.Printf("policy=%s engine=replay jobs=%d cluster=%dx%d GPUs seed=%d configs=%s rpc=%v\n",
+			p.Name(), *jobs, *nodes, *gpus, *seed, configName(*user), *overRPC)
+		fmt.Print(metrics.Table(
+			[]string{"completed", "avg JCT", "p50 JCT", "p99 JCT", "makespan", "avg tput", "avg goodput"},
+			[][]string{{
+				fmt.Sprintf("%d/%d", s.Completed, s.Total),
+				metrics.Hours(s.AvgJCT), metrics.Hours(s.P50JCT), metrics.Hours(s.P99JCT),
+				metrics.Hours(s.Makespan),
+				fmt.Sprintf("%.0f ex/s", rep.AvgThroughput),
+				fmt.Sprintf("%.0f ex/s", rep.AvgGoodput),
+			}},
+		))
+		return
 	}
 
 	cfg := sim.Config{

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/eventsim"
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/sched"
@@ -37,24 +38,17 @@ func main() {
 	go cluster.Serve(svc, ln)
 	fmt.Printf("PolluxSched listening on %s (4 nodes x 4 GPUs)\n\n", ln.Addr())
 
-	// Scheduler control loop: one GA pass per simulated minute.
+	// Scheduler control loop: one GA pass per simulated minute, paced by
+	// the same wall-clock compression as the trainers (the shared
+	// eventsim kernel under a Wall clock, exactly like pollux-sched).
 	stop := make(chan struct{})
-	go func() {
-		policy := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
-		simNow := 0.0
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			if _, err := svc.ScheduleOnce(policy, simNow); err != nil {
+	policy := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
+	go svc.RunRounds(policy, 60, &eventsim.Wall{Compression: 150}, stop,
+		func(now float64, n int, err error) {
+			if err != nil {
 				log.Println("schedule:", err)
 			}
-			simNow += 60
-			time.Sleep(200 * time.Millisecond) // compressed 60 s at ~150x
-		}
-	}()
+		})
 	defer close(stop)
 
 	// Three jobs of different scales, shrunk to run in seconds.

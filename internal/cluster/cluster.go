@@ -45,6 +45,25 @@ func (s *State) Capacity() []int {
 	return out
 }
 
+// Snapshot returns the per-node capacities and every job's placement
+// under a single lock acquisition. The scheduling round snapshots the
+// whole cluster at once instead of taking one lock round-trip per job
+// (Capacity plus a Placement call each), so the view it hands the policy
+// is consistent: no placement can change between two reads.
+func (s *State) Snapshot() (capacity []int, placed map[string][]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	capacity = make([]int, len(s.capacity))
+	copy(capacity, s.capacity)
+	placed = make(map[string][]int, len(s.placed))
+	for job, row := range s.placed {
+		cp := make([]int, len(row))
+		copy(cp, row)
+		placed[job] = cp
+	}
+	return capacity, placed
+}
+
 // Placement returns the job's current allocation (copy) and whether the
 // job is known.
 func (s *State) Placement(job string) ([]int, bool) {

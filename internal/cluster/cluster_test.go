@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/eventsim"
 	"repro/internal/ga"
 	"repro/internal/models"
 	"repro/internal/sched"
@@ -182,28 +183,21 @@ func TestTrainerRunsToCompletionOverRPC(t *testing.T) {
 	go Serve(svc, ln)
 
 	// Tiny job: neumf with shrunken work so the test runs in seconds.
+	// The trainer runs unpaced on virtual time — the old version of this
+	// test burned wall clock under a compression factor and its duration
+	// varied with host load.
 	spec := *models.ByName("neumf")
 	spec.Epochs = 0.5
 	tr := &Trainer{
 		Job: "live-0", Spec: &spec,
-		Compression: 50000, Seed: 3,
+		DisableCompression: true, Seed: 3,
 	}
 
-	// Scheduler loop.
+	// Scheduler loop: rounds back to back on the virtual clock.
 	stop := make(chan struct{})
-	go func() {
-		p := sched.NewPollux(sched.PolluxOptions{Population: 10, Generations: 5}, 3)
-		simNow := 0.0
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			svc.ScheduleOnce(p, simNow)
-			simNow += 60
-		}
-	}()
+	go svc.RunRounds(
+		sched.NewPollux(sched.PolluxOptions{Population: 10, Generations: 5}, 3),
+		60, eventsim.Virtual{}, stop, nil)
 	defer close(stop)
 
 	simSecs, err := tr.Run("tcp", ln.Addr().String(), 0)
@@ -218,6 +212,47 @@ func TestTrainerRunsToCompletionOverRPC(t *testing.T) {
 	}
 	if tr.Progress() < 1 {
 		t.Errorf("progress = %v, want >= 1", tr.Progress())
+	}
+}
+
+func TestTrainerCompressionValidation(t *testing.T) {
+	spec := models.ByName("neumf")
+	// An explicit (or forgotten) zero is an error, not a silent default.
+	tr := &Trainer{Job: "z", Spec: spec}
+	if _, err := tr.Run("tcp", "127.0.0.1:1", 0); err == nil {
+		t.Error("zero Compression accepted")
+	}
+	tr = &Trainer{Job: "n", Spec: spec, Compression: -5}
+	if _, err := tr.Run("tcp", "127.0.0.1:1", 0); err == nil {
+		t.Error("negative Compression accepted")
+	}
+	// Setting both knobs is contradictory.
+	tr = &Trainer{Job: "b", Spec: spec, Compression: 100, DisableCompression: true}
+	if _, err := tr.Run("tcp", "127.0.0.1:1", 0); err == nil {
+		t.Error("Compression together with DisableCompression accepted")
+	}
+}
+
+func TestStateSnapshotConsistentAndCopied(t *testing.T) {
+	s := NewState([]int{4, 4})
+	s.Bind("a", []int{2, 0})
+	s.Bind("b", []int{0, 3})
+	capacity, placed := s.Snapshot()
+	if capacity[0] != 4 || capacity[1] != 4 {
+		t.Errorf("capacity = %v", capacity)
+	}
+	if len(placed) != 2 || placed["a"][0] != 2 || placed["b"][1] != 3 {
+		t.Errorf("placed = %v", placed)
+	}
+	// Mutating the snapshot must not touch the state.
+	capacity[0] = 99
+	placed["a"][0] = 99
+	again, _ := s.Placement("a")
+	if again[0] != 2 {
+		t.Error("Snapshot leaked internal placement state")
+	}
+	if s.Capacity()[0] != 4 {
+		t.Error("Snapshot leaked internal capacity state")
 	}
 }
 

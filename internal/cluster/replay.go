@@ -1,0 +1,225 @@
+// Replay mode: the live-testbed control path on virtual time.
+//
+// Replay feeds a workload trace through the exact components a live run
+// uses — Trainers with their own rngs and PolluxAgents, the Service's
+// report/allocation bookkeeping, the shared runtime.Step scheduling
+// round — but drives every trainer's control loop and every scheduling
+// round through one eventsim queue on a virtual clock. Nothing sleeps
+// and nothing races: events fire in the kernel's deterministic order, so
+// a replay is bit-reproducible for a fixed seed and directly comparable
+// to the trace-driven simulator's output on the same trace.
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/eventsim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Event kinds of the testbed event loop. At one instant the scheduling
+// round (cluster class) runs before any trainer event; among trainer
+// events, arrivals precede steps.
+const (
+	kindSched  = iota // cluster class: scheduling round
+	kindArrive        // job class: trace arrival, the trainer comes up
+	kindStep          // job class: one trainer control-loop step
+)
+
+// ReplayConfig controls one replay run. The zero value takes the
+// simulator's defaults: a 16x4 cluster, 60 s scheduling rounds, 30 s
+// reports and restart pauses, a 14-day horizon.
+type ReplayConfig struct {
+	Nodes       int // default 16
+	GPUsPerNode int // default 4
+	// SchedInterval is the scheduling period (default 60 s);
+	// ReportEvery the trainer report/tune period (default 30 s).
+	SchedInterval float64
+	ReportEvery   float64
+	// RestartDelay is the checkpoint-restart pause charged when a
+	// trainer's allocation changes. The zero value takes the 30 s
+	// default and a negative value means an explicit zero pause,
+	// matching sim.Config.RestartDelay so parity configs line up.
+	RestartDelay float64
+	// MaxTime caps the replay (default 14 days).
+	MaxTime float64
+	Seed    int64
+	// UseTunedConfig selects each job's tuned rather than user
+	// configuration for the baseline schedulers, as sim.Config does.
+	UseTunedConfig bool
+	// OverRPC drives every trainer's reports and allocation polls
+	// through a real net/rpc connection on a loopback socket instead of
+	// in-process Service calls. Calls are synchronous round trips from
+	// the single event-loop goroutine, so the run stays deterministic;
+	// results are bit-identical to the in-process transport.
+	OverRPC bool
+}
+
+func (c *ReplayConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.GPUsPerNode <= 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.SchedInterval <= 0 {
+		c.SchedInterval = 60
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 30
+	}
+	if c.RestartDelay == 0 {
+		c.RestartDelay = 30
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 14 * 24 * 3600
+	}
+}
+
+// ReplayResult aggregates one replay run, shaped like the simulator's
+// Result so the two engines' outputs diff directly.
+type ReplayResult struct {
+	Summary metrics.Summary
+	// Records are per-job completion records aligned with the trace.
+	Records []metrics.JobRecord
+	// AvgThroughput and AvgGoodput are example-rate means over all
+	// job-running time.
+	AvgThroughput float64
+	AvgGoodput    float64
+}
+
+// replayTask pairs a trace job with its live trainer.
+type replayTask struct {
+	wj     workload.Job
+	tr     *Trainer
+	finish float64
+}
+
+// Replay runs the trace through the live-testbed control path on virtual
+// time and returns its completion statistics.
+func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (ReplayResult, error) {
+	cfg.defaults()
+	capacity := make([]int, cfg.Nodes)
+	for i := range capacity {
+		capacity[i] = cfg.GPUsPerNode
+	}
+	state := NewState(capacity)
+	svc := NewService(state)
+
+	var transport Transport = Local{Svc: svc}
+	if cfg.OverRPC {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		defer ln.Close()
+		go Serve(svc, ln)
+		client, err := Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		defer client.Close()
+		transport = client
+	}
+
+	adaptive := policy.AdaptsBatchSize()
+	var tasks []*replayTask
+	byID := make(map[int]*replayTask)
+	var q eventsim.Queue
+	for _, wj := range trace.Jobs {
+		spec := models.ByName(wj.Model)
+		if spec == nil {
+			continue
+		}
+		gpus, batch := wj.UserGPUs, wj.UserBatch
+		if cfg.UseTunedConfig {
+			gpus, batch = wj.TunedGPUs, wj.TunedBatch
+		}
+		t := &replayTask{wj: wj, tr: &Trainer{
+			Job:  fmt.Sprintf("job-%d", wj.ID),
+			Spec: spec,
+			// Each trainer owns its rng, exactly as a live agent
+			// process would; draws happen only inside its own events,
+			// so the global draw order is fixed by the kernel.
+			Seed:        cfg.Seed + int64(wj.ID),
+			ReportEvery: cfg.ReportEvery, RestartDelay: cfg.RestartDelay,
+			UserGPUs: gpus, UserBatch: batch,
+		}}
+		if !adaptive {
+			t.tr.FixedBatch = batch
+		}
+		tasks = append(tasks, t)
+		byID[wj.ID] = t
+		q.Push(eventsim.Event{
+			Time: wj.Submit, Class: eventsim.ClassJob, Job: wj.ID, Kind: kindArrive,
+		})
+	}
+	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: kindSched})
+
+	done := 0
+	var runErr error
+	eventsim.Drive(&q, eventsim.Virtual{}, 0, func(e eventsim.Event) bool {
+		if e.Time > cfg.MaxTime {
+			return false
+		}
+		switch e.Kind {
+		case kindSched:
+			if _, err := svc.ScheduleOnce(policy, e.Time); err != nil {
+				runErr = err
+				return false
+			}
+			q.Push(eventsim.Event{
+				Time: e.Time + cfg.SchedInterval, Class: eventsim.ClassCluster, Kind: kindSched,
+			})
+
+		case kindArrive:
+			t := byID[e.Job]
+			if err := t.tr.begin(transport, e.Time); err != nil {
+				runErr = err
+				return false
+			}
+			q.Push(eventsim.Event{
+				Time: e.Time, Class: eventsim.ClassJob, Job: e.Job, Kind: kindStep,
+			})
+
+		case kindStep:
+			t := byID[e.Job]
+			finished, err := t.tr.tick()
+			if err != nil {
+				runErr = err
+				return false
+			}
+			if finished {
+				t.finish = t.wj.Submit + t.tr.simNow
+				done++
+				return done < len(tasks)
+			}
+			q.Push(eventsim.Event{
+				Time: e.Time + trainerTick, Class: eventsim.ClassJob, Job: e.Job, Kind: kindStep,
+			})
+		}
+		return true
+	})
+	if runErr != nil {
+		return ReplayResult{}, runErr
+	}
+
+	var res ReplayResult
+	var tputSum, goodSum, runSum float64
+	for _, t := range tasks {
+		res.Records = append(res.Records, metrics.JobRecord{Submit: t.wj.Submit, Finish: t.finish})
+		tputSum += t.tr.tputSum
+		goodSum += t.tr.goodSum
+		runSum += t.tr.runTime
+	}
+	res.Summary = metrics.Summarize(res.Records)
+	if runSum > 0 {
+		res.AvgThroughput = tputSum / runSum
+		res.AvgGoodput = goodSum / runSum
+	}
+	return res, nil
+}

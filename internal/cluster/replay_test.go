@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallTrace keeps only resnet18/neumf jobs of a generated trace so
+// replay tests finish fast, mirroring the sim package's test helper.
+func smallTrace(seed int64, n int) workload.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := workload.Generate(rng, workload.Options{Jobs: n, Hours: 0.5})
+	out := workload.Trace{Duration: tr.Duration}
+	for _, j := range tr.Jobs {
+		if j.Model == "resnet18" || j.Model == "neumf" {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+func smallReplayCfg(seed int64) ReplayConfig {
+	return ReplayConfig{
+		Nodes: 4, GPUsPerNode: 4, UseTunedConfig: true,
+		MaxTime: 12 * 3600, Seed: seed,
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a - b)
+	}
+	return math.Abs(a/b - 1)
+}
+
+// TestReplayDeterminism: replay runs entirely on virtual time, so two
+// runs with the same seed must produce bit-identical results — the
+// property the old wall-clock trainer loop could never offer.
+func TestReplayDeterminism(t *testing.T) {
+	tr := smallTrace(3, 10)
+	if len(tr.Jobs) < 3 {
+		t.Skip("trace too small after filtering")
+	}
+	run := func() ReplayResult {
+		p := sched.NewPollux(sched.PolluxOptions{Population: 15, Generations: 8}, 3)
+		res, err := Replay(tr, p, smallReplayCfg(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replay not reproducible:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Summary.Completed == 0 {
+		t.Error("no jobs completed")
+	}
+}
+
+// TestReplayTransportParity: the in-process transport and the real
+// net/rpc loopback socket must produce bit-identical replays — the RPC
+// layer is marshaling, not semantics.
+func TestReplayTransportParity(t *testing.T) {
+	tr := smallTrace(5, 8)
+	if len(tr.Jobs) < 2 {
+		t.Skip("trace too small after filtering")
+	}
+	run := func(overRPC bool) ReplayResult {
+		cfg := smallReplayCfg(5)
+		cfg.OverRPC = overRPC
+		res, err := Replay(tr, sched.NewTiresias(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	local, rpc := run(false), run(true)
+	if !reflect.DeepEqual(local, rpc) {
+		t.Errorf("transports diverge:\nlocal %+v\nrpc   %+v", local, rpc)
+	}
+}
+
+// TestReplayVsSimParitySmallShort is the -short replay parity smoke: a
+// small trace through the replay engine vs the sim event engine.
+func TestReplayVsSimParitySmallShort(t *testing.T) {
+	tr := smallTrace(9, 10)
+	if len(tr.Jobs) < 3 {
+		t.Skip("trace too small after filtering")
+	}
+	simRes := sim.NewCluster(tr, sched.NewTiresias(), sim.Config{
+		Nodes: 4, GPUsPerNode: 4, Tick: 2, UseTunedConfig: true,
+		MaxTime: 12 * 3600, Seed: 9,
+	}).Run()
+	repRes, err := Replay(tr, sched.NewTiresias(), smallReplayCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Summary.Completed != repRes.Summary.Completed {
+		t.Fatalf("completed: sim %d vs replay %d",
+			simRes.Summary.Completed, repRes.Summary.Completed)
+	}
+	if d := relDiff(repRes.Summary.AvgJCT, simRes.Summary.AvgJCT); d > 0.05 {
+		t.Errorf("avg JCT diverges %.1f%%: sim %v vs replay %v",
+			100*d, simRes.Summary.AvgJCT, repRes.Summary.AvgJCT)
+	}
+}
+
+// TestReplayVsSimParity: the replay engine must reproduce the simulator
+// on the standard 16-node trace — same semantics reached through the
+// live control path (Service, reports, runtime.Step) instead of the
+// simulator's in-memory jobs. Like the tick-vs-event check, the engines
+// draw different rng sequences (per-trainer rngs, 5 s profiling steps),
+// so metrics agree statistically; the bar is 5% on JCT and goodput.
+func TestReplayVsSimParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-engine comparison")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tr := workload.Generate(rng, workload.Options{
+		Jobs: 40, Hours: 2, GPUsPerNode: 4, MaxGPUs: 64,
+	})
+	policies := map[string]func(seed int64) sched.Policy{
+		"pollux": func(seed int64) sched.Policy {
+			return sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, seed)
+		},
+		"optimus":  func(seed int64) sched.Policy { return sched.NewOptimus(4) },
+		"tiresias": func(seed int64) sched.Policy { return sched.NewTiresias() },
+	}
+	const tol = 0.05
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			simRes := sim.NewCluster(tr, mk(1), sim.Config{
+				Nodes: 16, GPUsPerNode: 4, Tick: 1,
+				UseTunedConfig: true, Seed: 1,
+			}).Run()
+			repRes, err := Replay(tr, mk(1), ReplayConfig{
+				Nodes: 16, GPUsPerNode: 4, UseTunedConfig: true, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simRes.Summary.Completed != repRes.Summary.Completed {
+				t.Errorf("completed: sim %d vs replay %d",
+					simRes.Summary.Completed, repRes.Summary.Completed)
+			}
+			if d := relDiff(repRes.Summary.AvgJCT, simRes.Summary.AvgJCT); d > tol {
+				t.Errorf("avg JCT diverges %.1f%%: sim %v vs replay %v",
+					100*d, simRes.Summary.AvgJCT, repRes.Summary.AvgJCT)
+			}
+			if d := relDiff(repRes.AvgGoodput, simRes.AvgGoodput); d > tol {
+				t.Errorf("avg goodput diverges %.1f%%: sim %v vs replay %v",
+					100*d, simRes.AvgGoodput, repRes.AvgGoodput)
+			}
+		})
+	}
+}

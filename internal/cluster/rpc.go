@@ -7,13 +7,18 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/eventsim"
 	"repro/internal/ga"
+	"repro/internal/runtime"
 	"repro/internal/sched"
 )
 
 // Report is what a PolluxAgent sends the scheduler at each reporting
 // interval (Sec. 4.1: the fitted θsys and latest gradient statistics,
 // plus the accounting the scheduler needs for weights and exploration).
+// The fixed-configuration fields are consumed only by the baseline
+// policies (Tiresias wants UserGPUs, Optimus+Oracle wants UserBatch and
+// the RemainingIters oracle); Pollux ignores them.
 type Report struct {
 	Job            string
 	Params         [7]float64 // θsys vector
@@ -24,6 +29,12 @@ type Report struct {
 	GPUCap         int
 	GPUTime        float64
 	Submit         float64
+	// UserGPUs and UserBatch are the job's fixed submission-time
+	// configuration; RemainingIters is the oracle
+	// iterations-to-completion at UserBatch (Sec. 5.2).
+	UserGPUs       int
+	UserBatch      int
+	RemainingIters float64
 	Done           bool
 }
 
@@ -41,7 +52,16 @@ type Service struct {
 	state   *State
 	reports map[string]Report
 	allocs  map[string]Allocation
-	order   []string // registration order for stable scheduling
+	order   []string       // registration order for stable scheduling
+	ids     map[string]int // stable scheduler-visible job IDs
+
+	// schedMu serializes scheduling rounds: Round and Commit communicate
+	// through roundJobs, so overlapping ScheduleOnce calls must not
+	// interleave (reports keep flowing under mu while a round runs).
+	schedMu sync.Mutex
+	// roundJobs is the job snapshot of the scheduling round in flight,
+	// set by Round and consumed by Commit (see runtime.Step).
+	roundJobs []string
 }
 
 // NewService wraps cluster state in an RPC service.
@@ -50,6 +70,7 @@ func NewService(state *State) *Service {
 		state:   state,
 		reports: make(map[string]Report),
 		allocs:  make(map[string]Allocation),
+		ids:     make(map[string]int),
 	}
 }
 
@@ -62,6 +83,10 @@ func (s *Service) SubmitReport(r Report, _ *struct{}) error {
 	defer s.mu.Unlock()
 	if _, seen := s.reports[r.Job]; !seen {
 		s.order = append(s.order, r.Job)
+		// The ID is assigned once and never reused: Pollux carries GA
+		// population rows and speedup tables across rounds keyed by job
+		// ID, so IDs must not shift when earlier jobs finish.
+		s.ids[r.Job] = len(s.order) - 1
 	}
 	s.reports[r.Job] = r
 	if r.Done {
@@ -84,74 +109,125 @@ func (s *Service) GetAllocation(job string, reply *Allocation) error {
 	return nil
 }
 
-// ScheduleOnce runs one PolluxSched pass over all reported, unfinished
-// jobs and applies the best allocation matrix to the cluster state. It
-// returns the number of jobs scheduled.
+// ScheduleOnce runs one scheduling round — snapshot the reported jobs,
+// run the policy, validate, diff, commit — through the shared
+// runtime.Step core, the same round the simulator executes. It returns
+// the number of jobs scheduled.
 func (s *Service) ScheduleOnce(policy sched.Policy, now float64) (int, error) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	return runtime.Step(s, policy, now)
+}
+
+// Round snapshots the scheduler inputs for runtime.Step: every reported,
+// unfinished job's goodput function and accounting in registration
+// order, plus the placements currently in effect (one State.Snapshot,
+// not a lock round-trip per job).
+func (s *Service) Round(now float64) *sched.ClusterView {
+	capacity, placed := s.state.Snapshot()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	var jobs []string
-	view := &sched.ClusterView{Now: now, Capacity: s.state.Capacity()}
+	view := &sched.ClusterView{Now: now, Capacity: capacity}
 	for _, name := range s.order {
 		r := s.reports[name]
 		if r.Done {
 			continue
 		}
 		jobs = append(jobs, name)
-		params := core.ParamsFromVector(r.Params[:])
+		minGPUs := 0
+		if r.UserBatch > 0 && r.MaxBatchPerGPU > 0 {
+			minGPUs = (r.UserBatch + r.MaxBatchPerGPU - 1) / r.MaxBatchPerGPU
+		}
 		view.Jobs = append(view.Jobs, sched.JobView{
-			ID:     len(jobs) - 1,
+			ID:     s.ids[name],
 			Submit: r.Submit,
 			Model: core.Model{
-				Params:         params,
+				Params:         core.ParamsFromVector(r.Params[:]),
 				Phi:            r.Phi,
 				M0:             r.M0,
 				MaxBatchPerGPU: r.MaxBatchPerGPU,
 				MaxBatchGlobal: r.MaxBatchGlobal,
 			},
-			GPUCap:  r.GPUCap,
-			GPUTime: r.GPUTime,
+			GPUCap:         r.GPUCap,
+			GPUTime:        r.GPUTime,
+			UserGPUs:       r.UserGPUs,
+			UserBatch:      r.UserBatch,
+			MinGPUs:        minGPUs,
+			RemainingIters: r.RemainingIters,
 		})
 	}
-	view.Current = ga.NewMatrix(len(jobs), len(view.Capacity))
+	view.Current = ga.NewMatrix(len(jobs), len(capacity))
 	for i, name := range jobs {
-		if row, ok := s.state.Placement(name); ok {
+		if row, ok := placed[name]; ok {
 			copy(view.Current[i], row)
 		}
 	}
-	s.mu.Unlock()
-
-	if len(jobs) == 0 {
-		return 0, nil
-	}
-	m := policy.Schedule(view)
-	if len(m) != len(jobs) {
-		return 0, fmt.Errorf("cluster: policy returned %d rows for %d jobs", len(m), len(jobs))
-	}
-	if err := s.state.ApplyMatrix(jobs, m); err != nil {
-		return 0, err
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, name := range jobs {
-		cur := s.allocs[name]
-		if !sameRow(cur.Row, m[i]) {
-			s.allocs[name] = Allocation{Row: append([]int(nil), m[i]...), Generation: cur.Generation + 1}
-		}
-	}
-	return len(jobs), nil
+	s.roundJobs = jobs
+	return view
 }
 
-func sameRow(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+// Commit atomically installs the validated allocation matrix for the
+// last Round's jobs and bumps the allocation generation of every row
+// that changed, so trainers detect the re-allocation and checkpoint. A
+// job that reported Done while the policy was optimizing was already
+// evicted by SubmitReport; its row is dropped here rather than rebound,
+// which would leak a placement for a job that will never report again.
+// The Done filter, the matrix application, and the generation bumps all
+// happen under one hold of s.mu (SubmitReport takes the same lock), so
+// no Done report can slip in between the filter and the bind.
+func (s *Service) Commit(m ga.Matrix, changed []bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]string, 0, len(s.roundJobs))
+	rows := make(ga.Matrix, 0, len(m))
+	live := make([]int, 0, len(m)) // indices into the round's ordering
+	for i, name := range s.roundJobs {
+		if s.reports[name].Done {
+			continue
 		}
+		jobs = append(jobs, name)
+		rows = append(rows, m[i])
+		live = append(live, i)
 	}
-	return true
+
+	if err := s.state.ApplyMatrix(jobs, rows); err != nil {
+		return err
+	}
+
+	for k, name := range jobs {
+		if !changed[live[k]] {
+			continue
+		}
+		cur := s.allocs[name]
+		s.allocs[name] = Allocation{Row: append([]int(nil), rows[k]...), Generation: cur.Generation + 1}
+	}
+	return nil
+}
+
+// RunRounds drives scheduling rounds every interval simulated seconds on
+// the eventsim kernel until stop is closed. The clock paces the rounds:
+// a Wall clock with a compression factor yields the live scheduler loop
+// (pollux-sched, the live-cluster example), a Virtual clock runs rounds
+// back to back. Round failures (a malformed policy result, say) are
+// reported through onRound and the loop keeps serving, matching the
+// resilience of the old hand-rolled daemon loops; onRound may be nil.
+func (s *Service) RunRounds(policy sched.Policy, interval float64, clock eventsim.Clock, stop <-chan struct{}, onRound func(now float64, scheduled int, err error)) {
+	var q eventsim.Queue
+	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster})
+	eventsim.Drive(&q, clock, 0, func(e eventsim.Event) bool {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		n, err := s.ScheduleOnce(policy, e.Time)
+		if onRound != nil {
+			onRound(e.Time, n, err)
+		}
+		q.Push(eventsim.Event{Time: e.Time + interval, Class: eventsim.ClassCluster})
+		return true
+	})
 }
 
 // Serve registers the service under the name "PolluxSched" and accepts

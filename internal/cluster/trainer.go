@@ -1,40 +1,106 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
-	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/eventsim"
 	"repro/internal/models"
 	"repro/internal/sched"
 )
 
-// Trainer simulates one training job as a live goroutine: it polls its
-// allocation over RPC, advances ground-truth training under a wall-clock
-// compression factor, profiles noisy observations into its PolluxAgent,
-// and reports the fitted goodput function back to the scheduler — the
-// full Sec. 4.3 agent loop against a real socket.
+// trainerTick is the simulated seconds per control-loop step: the cadence
+// at which a trainer polls its allocation and advances training.
+const trainerTick = 5.0
+
+// Transport is the agent's side of the Sec. 4.3 boundary: the two calls
+// a trainer makes against the scheduler. *Client implements it over
+// net/rpc; Local implements it with direct Service calls so a replay run
+// can drive the identical control path in process.
+type Transport interface {
+	SubmitReport(r Report) error
+	GetAllocation(job string) (Allocation, error)
+}
+
+// Local is the in-process Transport: direct method calls on the Service,
+// bypassing only the gob marshaling of the RPC layer. Results are
+// bit-identical to the net/rpc path (see TestReplayTransportParity).
+type Local struct{ Svc *Service }
+
+// SubmitReport delivers an agent report.
+func (l Local) SubmitReport(r Report) error { return l.Svc.SubmitReport(r, &struct{}{}) }
+
+// GetAllocation polls the job's allocation.
+func (l Local) GetAllocation(job string) (Allocation, error) {
+	var a Allocation
+	err := l.Svc.GetAllocation(job, &a)
+	return a, err
+}
+
+// Trainer simulates one training job's agent loop: it polls its
+// allocation, advances ground-truth training, profiles noisy
+// observations into its PolluxAgent, and reports the fitted goodput
+// function back to the scheduler — the full Sec. 4.3 agent loop. The
+// loop runs on the eventsim kernel: Run paces it against the wall clock
+// under a compression factor (the live deployment), while the replay
+// engine drives many trainers' events through one shared queue on
+// virtual time (see Replay).
 type Trainer struct {
 	Job  string
 	Spec *models.Spec
 
 	// Compression maps wall-clock to simulated seconds (e.g. 1000 means
-	// one real millisecond simulates one second of training).
+	// one real millisecond simulates one second of training). Run
+	// requires it to be positive; set DisableCompression to run unpaced
+	// on virtual time instead (an explicit zero alone is an error, so a
+	// forgotten field can no longer silently pick a pace).
 	Compression float64
+	// DisableCompression runs the loop on virtual time: no sleeping at
+	// all, as fast as the host allows. Mutually exclusive with a
+	// nonzero Compression.
+	DisableCompression bool
 	// ReportEvery is the simulated-seconds interval between reports
 	// (default 30, as in the paper).
 	ReportEvery float64
-	// RestartDelay is the simulated checkpoint-restart pause (default 30).
+	// RestartDelay is the simulated checkpoint-restart pause. The zero
+	// value takes the 30 s default; a negative value means an explicit
+	// zero pause (the sim.Config.RestartDelay convention).
 	RestartDelay float64
 	Seed         int64
+
+	// FixedBatch pins the training batch size for jobs scheduled by the
+	// non-batch-adaptive baselines; 0 (the default) lets the agent
+	// re-tune the batch every report, the Pollux behaviour.
+	FixedBatch int
+	// UserGPUs and UserBatch are the job's fixed submission-time
+	// configuration, forwarded in reports for the baseline schedulers
+	// (Tiresias wants the GPU count, Optimus+Oracle the batch size and
+	// its remaining-iterations oracle). Zero values are fine under
+	// Pollux, which ignores them.
+	UserGPUs  int
+	UserBatch int
 
 	mu       sync.Mutex
 	progress float64
 	gpuTime  float64
 	batch    int
 	done     bool
+
+	// Control-loop state, touched only by the driving goroutine.
+	transport    Transport
+	submit       float64
+	rng          *rand.Rand
+	ag           *agent.Agent
+	simNow       float64
+	restartUntil float64
+	nextReport   float64
+	lastGen      int
+
+	// Accumulated run metrics for replay summaries.
+	tputSum, goodSum, runTime float64
 }
 
 // Progress returns the fraction of total work completed, in [0, 1].
@@ -62,99 +128,157 @@ func (t *Trainer) Done() bool {
 	return t.done
 }
 
-// Run drives the job to completion against the scheduler at addr. It
-// returns the total simulated seconds the job took.
-func (t *Trainer) Run(network, addr string, submit float64) (float64, error) {
-	if t.Compression <= 0 {
-		t.Compression = 1000
+// clock validates the pacing options and returns the kernel clock the
+// trainer's event loop runs under.
+func (t *Trainer) clock() (eventsim.Clock, error) {
+	if t.DisableCompression {
+		if t.Compression != 0 {
+			return nil, fmt.Errorf("cluster: Trainer %q sets both Compression and DisableCompression", t.Job)
+		}
+		return eventsim.Virtual{}, nil
 	}
+	if t.Compression <= 0 {
+		return nil, fmt.Errorf("cluster: Trainer %q needs a positive Compression (or DisableCompression for unpaced virtual time)", t.Job)
+	}
+	return &eventsim.Wall{Compression: t.Compression}, nil
+}
+
+// begin initializes the control loop against a transport and sends the
+// initial report.
+func (t *Trainer) begin(tr Transport, submit float64) error {
 	if t.ReportEvery <= 0 {
 		t.ReportEvery = 30
 	}
 	if t.RestartDelay == 0 {
 		t.RestartDelay = 30
 	}
+	t.transport = tr
+	t.submit = submit
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	t.ag = agent.New(t.Spec.M0, t.Spec.Eta0, t.Spec.MaxBatchPerGPU, t.Spec.MaxBatchGlobal)
+	t.mu.Lock()
+	t.batch = t.Spec.M0
+	if t.FixedBatch > 0 {
+		t.batch = t.FixedBatch
+	}
+	t.mu.Unlock()
+	t.lastGen = -1
+	t.simNow = 0
+	t.restartUntil = 0
+	t.nextReport = 0
+	return t.report(false)
+}
+
+// report sends the agent's current goodput function and accounting.
+func (t *Trainer) report(done bool) error {
+	model := t.ag.Report()
+	var vec [7]float64
+	copy(vec[:], model.Params.Vector())
+	t.mu.Lock()
+	gpuTime := t.gpuTime
+	progress := t.progress
+	t.mu.Unlock()
+	remIters := 0.0
+	if t.UserBatch > 0 {
+		frac := progress / t.Spec.TotalWork()
+		if frac > 1 {
+			frac = 1
+		}
+		eff := core.Efficiency(t.Spec.Phi(frac), t.Spec.M0, t.UserBatch)
+		remIters = (t.Spec.TotalWork() - progress) / (eff * float64(t.UserBatch))
+	}
+	return t.transport.SubmitReport(Report{
+		Job: t.Job, Params: vec, Phi: model.Phi,
+		M0: model.M0, MaxBatchPerGPU: model.MaxBatchPerGPU,
+		MaxBatchGlobal: model.MaxBatchGlobal,
+		GPUCap:         t.ag.GPUCap(), GPUTime: gpuTime,
+		UserGPUs: t.UserGPUs, UserBatch: t.UserBatch, RemainingIters: remIters,
+		Submit: t.submit, Done: done,
+	})
+}
+
+// tick runs one control-loop step: poll the allocation, detect
+// re-allocation and charge the checkpoint-restart pause, advance one
+// trainerTick of training, and report/re-tune on the reporting cadence.
+// It returns whether the job completed (the final Done report included).
+func (t *Trainer) tick() (bool, error) {
+	alloc, err := t.transport.GetAllocation(t.Job)
+	if err != nil {
+		return false, err
+	}
+	pl := sched.PlacementOf(alloc.Row)
+	if alloc.Generation != t.lastGen {
+		t.lastGen = alloc.Generation
+		if pl.GPUs > 0 {
+			t.restartUntil = t.simNow + t.RestartDelay
+		}
+	}
+
+	if pl.GPUs > 0 && t.simNow >= t.restartUntil {
+		t.step(pl, trainerTick)
+	}
+	t.simNow += trainerTick
+
+	if t.simNow >= t.nextReport {
+		phi := t.Spec.Phi(t.Progress()) * (1 + 0.05*(t.rng.Float64()*2-1))
+		t.ag.SetPhi(phi)
+		// Shared batched-refit helper; a single agent runs inline.
+		agent.RefitAll([]*agent.Agent{t.ag}, 1)
+		if t.FixedBatch == 0 && pl.GPUs > 0 {
+			b, _ := t.ag.TuneBatch(pl)
+			t.mu.Lock()
+			t.batch = b
+			t.mu.Unlock()
+		}
+		if err := t.report(false); err != nil {
+			return false, err
+		}
+		t.nextReport += t.ReportEvery
+	}
+
+	if t.Done() {
+		return true, t.report(true)
+	}
+	return false, nil
+}
+
+// Run drives the job to completion against the scheduler at addr, pacing
+// the event loop with the trainer's clock. It returns the total
+// simulated seconds the job took.
+func (t *Trainer) Run(network, addr string, submit float64) (float64, error) {
+	clock, err := t.clock()
+	if err != nil {
+		return 0, err
+	}
 	client, err := Dial(network, addr)
 	if err != nil {
 		return 0, err
 	}
 	defer client.Close()
-
-	rng := rand.New(rand.NewSource(t.Seed))
-	ag := agent.New(t.Spec.M0, t.Spec.Eta0, t.Spec.MaxBatchPerGPU, t.Spec.MaxBatchGlobal)
-	t.mu.Lock()
-	t.batch = t.Spec.M0
-	t.mu.Unlock()
-
-	const tick = 5.0 // simulated seconds per step
-	simNow := 0.0
-	restartUntil := 0.0
-	lastGen := -1
-	nextReport := 0.0
-
-	report := func(done bool) error {
-		model := ag.Report()
-		var vec [7]float64
-		copy(vec[:], model.Params.Vector())
-		t.mu.Lock()
-		gpuTime := t.gpuTime
-		t.mu.Unlock()
-		return client.SubmitReport(Report{
-			Job: t.Job, Params: vec, Phi: model.Phi,
-			M0: model.M0, MaxBatchPerGPU: model.MaxBatchPerGPU,
-			MaxBatchGlobal: model.MaxBatchGlobal,
-			GPUCap:         ag.GPUCap(), GPUTime: gpuTime,
-			Submit: submit, Done: done,
-		})
-	}
-	if err := report(false); err != nil {
+	if err := t.begin(client, submit); err != nil {
 		return 0, err
 	}
 
-	for {
-		alloc, err := client.GetAllocation(t.Job)
+	var q eventsim.Queue
+	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassJob, Kind: kindStep})
+	var runErr error
+	eventsim.Drive(&q, clock, 0, func(e eventsim.Event) bool {
+		done, err := t.tick()
 		if err != nil {
-			return simNow, err
+			runErr = err
+			return false
 		}
-		pl := sched.PlacementOf(alloc.Row)
-		if alloc.Generation != lastGen {
-			lastGen = alloc.Generation
-			if pl.GPUs > 0 {
-				restartUntil = simNow + t.RestartDelay
-			}
+		if done {
+			return false
 		}
-
-		if pl.GPUs > 0 && simNow >= restartUntil {
-			t.step(ag, rng, pl, tick)
-		}
-		simNow += tick
-
-		if simNow >= nextReport {
-			phi := t.Spec.Phi(t.Progress()) * (1 + 0.05*(rng.Float64()*2-1))
-			ag.SetPhi(phi)
-			// Shared batched-refit helper; a single agent runs inline.
-			agent.RefitAll([]*agent.Agent{ag}, 1)
-			if pl.GPUs > 0 {
-				b, _ := ag.TuneBatch(pl)
-				t.mu.Lock()
-				t.batch = b
-				t.mu.Unlock()
-			}
-			if err := report(false); err != nil {
-				return simNow, err
-			}
-			nextReport += t.ReportEvery
-		}
-
-		if t.Done() {
-			return simNow, report(true)
-		}
-		time.Sleep(time.Duration(float64(time.Second) * tick / t.Compression))
-	}
+		q.Push(eventsim.Event{Time: e.Time + trainerTick, Class: eventsim.ClassJob, Kind: kindStep})
+		return true
+	})
+	return t.simNow, runErr
 }
 
 // step advances one tick of simulated training.
-func (t *Trainer) step(ag *agent.Agent, rng *rand.Rand, pl core.Placement, dt float64) {
+func (t *Trainer) step(pl core.Placement, dt float64) {
 	t.mu.Lock()
 	m := t.batch
 	t.mu.Unlock()
@@ -167,7 +291,11 @@ func (t *Trainer) step(ag *agent.Agent, rng *rand.Rand, pl core.Placement, dt fl
 	tIter := t.Spec.Truth.TIter(pl, float64(m))
 	tput := float64(m) / tIter
 	eff := core.Efficiency(t.Spec.Phi(t.Progress()), t.Spec.M0, m)
-	ag.RecordSample(pl, m, tIter*(1+0.05*(rng.Float64()*2-1)))
+	t.ag.RecordSample(pl, m, tIter*(1+0.05*(t.rng.Float64()*2-1)))
+
+	t.tputSum += tput * dt
+	t.goodSum += tput * eff * dt
+	t.runTime += dt
 
 	t.mu.Lock()
 	t.progress += tput * eff * dt

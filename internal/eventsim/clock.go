@@ -1,0 +1,88 @@
+package eventsim
+
+import "time"
+
+// Clock paces a simulation between events. The kernel itself only orders
+// events; a Clock decides how much wall time, if any, must elapse before
+// the simulation may jump from one event's timestamp to the next. This is
+// the only difference between a pure simulation run and a wall-clock
+// "live" run of the same event loop: swap the clock, keep the events.
+type Clock interface {
+	// Wait blocks until the simulation may advance from simulated time
+	// now to simulated time next (next >= now).
+	Wait(now, next float64)
+}
+
+// Virtual is the virtual-time clock: events are dispatched as fast as the
+// host allows, which makes runs deterministic and replayable.
+type Virtual struct{}
+
+// Wait returns immediately: virtual time is free.
+func (Virtual) Wait(now, next float64) {}
+
+// Wall paces simulated time against the wall clock, scaled by a
+// compression factor: Compression simulated seconds pass per wall-clock
+// second. The first Wait anchors simulated-to-wall correspondence; later
+// waits sleep until the target instant rather than sleeping per-gap, so
+// time spent handling events is absorbed instead of accumulating as
+// drift (the old Trainer sleep loop drifted by its per-tick work).
+type Wall struct {
+	// Compression is simulated seconds per wall-clock second; it must be
+	// positive (use Virtual for unpaced runs).
+	Compression float64
+
+	// SleepFn and NowFn are test hooks; nil means time.Sleep / time.Now.
+	SleepFn func(time.Duration)
+	NowFn   func() time.Time
+
+	anchorWall time.Time
+	anchorSim  float64
+	anchored   bool
+}
+
+// Wait sleeps until the wall-clock instant corresponding to simulated
+// time next.
+func (w *Wall) Wait(now, next float64) {
+	if w.Compression <= 0 {
+		panic("eventsim: Wall clock requires positive Compression")
+	}
+	wallNow := time.Now
+	if w.NowFn != nil {
+		wallNow = w.NowFn
+	}
+	if !w.anchored {
+		w.anchored = true
+		w.anchorWall = wallNow()
+		w.anchorSim = now
+	}
+	target := w.anchorWall.Add(time.Duration(float64(time.Second) * (next - w.anchorSim) / w.Compression))
+	d := target.Sub(wallNow())
+	if d <= 0 {
+		return // already behind schedule: catch up without sleeping
+	}
+	if w.SleepFn != nil {
+		w.SleepFn(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Drive runs an event loop on the queue: it pops events in the kernel's
+// deterministic order, paces each advance with the clock, and hands every
+// event to handle. It stops when the queue drains or handle returns
+// false, and returns the timestamp of the last event dispatched (start if
+// none was). Handlers may push further events onto the queue.
+func Drive(q *Queue, c Clock, start float64, handle func(Event) bool) float64 {
+	now := start
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			return now
+		}
+		c.Wait(now, e.Time)
+		now = e.Time
+		if !handle(e) {
+			return now
+		}
+	}
+}

@@ -111,7 +111,7 @@ func All() []string {
 	return []string{
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6",
 		"table2", "fig7", "fig8", "table3", "fig9", "fig10",
-		"diurnal64", "validate",
+		"diurnal64", "replayparity", "validate",
 	}
 }
 
@@ -144,6 +144,8 @@ func Run(id string, sc Scale) (Outcome, error) {
 		return Fig10(sc), nil
 	case "diurnal64":
 		return Diurnal64(sc), nil
+	case "replayparity":
+		return ReplayParity(sc)
 	case "validate":
 		return Validate(sc), nil
 	default:

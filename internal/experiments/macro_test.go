@@ -62,6 +62,30 @@ func TestDiurnal64ShortSmoke(t *testing.T) {
 	}
 }
 
+// TestReplayParityShortSmoke runs the unified-runtime exhibit end to end
+// at smoke scale under -short: every policy's trace goes through both
+// the sim event engine and the testbed replay engine. The structural
+// checks here complement the hard 5% bar of the cluster package's
+// TestReplayVsSimParity on the standard 16-node trace.
+func TestReplayParityShortSmoke(t *testing.T) {
+	o, err := ReplayParity(shortScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(o.Rows))
+	}
+	for _, name := range []string{"Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"} {
+		if o.Values[name+"/simJCT"] <= 0 || o.Values[name+"/replayJCT"] <= 0 {
+			t.Errorf("%s: missing JCTs: sim %v replay %v",
+				name, o.Values[name+"/simJCT"], o.Values[name+"/replayJCT"])
+		}
+		if d := o.Values[name+"/completedDelta"]; d != 0 {
+			t.Errorf("%s: completed counts differ by %v", name, d)
+		}
+	}
+}
+
 // TestFig10ShortSmoke covers the autoscaling experiment under -short.
 func TestFig10ShortSmoke(t *testing.T) {
 	o := Fig10(shortScale())

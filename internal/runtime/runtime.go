@@ -1,0 +1,97 @@
+// Package runtime is the shared core of the scheduling round that both
+// deployments of the control loop execute: the trace-driven simulator
+// (internal/sim) and the live-cluster testbed (internal/cluster). The
+// paper's system is one loop deployed two ways — a simulator (Sec. 5) and
+// a Kubernetes testbed (Sec. 4.3) — and the round itself is identical in
+// both: snapshot the goodput reports into scheduler inputs, run the
+// GA/heuristic policy, validate the returned matrix, diff it against the
+// placements in effect, and commit the changed rows with
+// checkpoint-restart accounting. Only the snapshot and commit ends differ
+// per deployment, so they are the Backend interface; everything between
+// them lives here, once.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/sched"
+)
+
+// Backend exposes one deployment's job population to the shared
+// scheduling round: the simulator's in-memory job states, or the
+// testbed's RPC-attached agents.
+type Backend interface {
+	// Round snapshots the scheduler inputs at simulated time now:
+	// per-node capacity, the active jobs in a deterministic order, and
+	// the allocation matrix currently in effect (rows aligned with
+	// Jobs, never nil for an active job).
+	Round(now float64) *sched.ClusterView
+	// Commit installs an allocation matrix that Step has already
+	// validated against the round's capacity, rows aligned with the
+	// last Round's jobs; changed[i] reports whether row i differs from
+	// the snapshot's Current row (so backends can skip no-op rebinds
+	// and charge checkpoint-restart only on real moves).
+	Commit(m ga.Matrix, changed []bool) error
+}
+
+// Step runs one scheduling round over the backend: snapshot, policy
+// optimization, matrix validation, placement diff, commit. It returns
+// the number of jobs scheduled. A malformed or oversubscribing policy
+// result aborts the round with an error before any row is applied, so a
+// failed round never leaves the backend half-committed.
+func Step(b Backend, policy sched.Policy, now float64) (int, error) {
+	view := b.Round(now)
+	if len(view.Jobs) == 0 {
+		return 0, nil
+	}
+	m := policy.Schedule(view)
+	if len(m) != len(view.Jobs) {
+		return 0, fmt.Errorf("runtime: policy %s returned %d rows for %d jobs",
+			policy.Name(), len(m), len(view.Jobs))
+	}
+	if err := CheckCapacity(view.Capacity, m); err != nil {
+		return 0, fmt.Errorf("runtime: policy %s: %w", policy.Name(), err)
+	}
+	changed := make([]bool, len(m))
+	for i := range m {
+		changed[i] = !EqualRow(view.Current[i], m[i])
+	}
+	if err := b.Commit(m, changed); err != nil {
+		return 0, err
+	}
+	return len(view.Jobs), nil
+}
+
+// EqualRow reports whether two allocation rows are identical.
+func EqualRow(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCapacity verifies that the matrix does not oversubscribe any node
+// in aggregate. Rows must all have one entry per capacity node.
+func CheckCapacity(capacity []int, m ga.Matrix) error {
+	for i, row := range m {
+		if len(row) != len(capacity) {
+			return fmt.Errorf("row %d has %d nodes, cluster has %d", i, len(row), len(capacity))
+		}
+	}
+	for n, c := range capacity {
+		total := 0
+		for _, row := range m {
+			total += row[n]
+		}
+		if total > c {
+			return fmt.Errorf("node %d oversubscribed: %d > %d", n, total, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/sched"
+)
+
+// fakeBackend is a minimal two-node deployment for exercising Step.
+type fakeBackend struct {
+	view      *sched.ClusterView
+	committed ga.Matrix
+	changed   []bool
+}
+
+func (f *fakeBackend) Round(now float64) *sched.ClusterView { return f.view }
+
+func (f *fakeBackend) Commit(m ga.Matrix, changed []bool) error {
+	f.committed = m
+	f.changed = changed
+	return nil
+}
+
+// fixedPolicy returns a canned matrix regardless of the view.
+type fixedPolicy struct{ m ga.Matrix }
+
+func (p fixedPolicy) Name() string                          { return "fixed" }
+func (p fixedPolicy) AdaptsBatchSize() bool                 { return false }
+func (p fixedPolicy) Schedule(*sched.ClusterView) ga.Matrix { return p.m }
+
+func view(jobs int, current ga.Matrix) *sched.ClusterView {
+	v := &sched.ClusterView{Capacity: []int{4, 4}, Current: current}
+	for i := 0; i < jobs; i++ {
+		v.Jobs = append(v.Jobs, sched.JobView{ID: i})
+	}
+	return v
+}
+
+func TestStepCommitsDiffedRows(t *testing.T) {
+	b := &fakeBackend{view: view(2, ga.Matrix{{2, 0}, {0, 2}})}
+	n, err := Step(b, fixedPolicy{ga.Matrix{{2, 0}, {2, 0}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("scheduled %d, want 2", n)
+	}
+	if b.committed == nil {
+		t.Fatal("Commit not called")
+	}
+	if b.changed[0] || !b.changed[1] {
+		t.Errorf("changed = %v, want [false true]", b.changed)
+	}
+}
+
+func TestStepEmptyRoundSkipsPolicy(t *testing.T) {
+	b := &fakeBackend{view: view(0, nil)}
+	n, err := Step(b, fixedPolicy{nil}, 0)
+	if err != nil || n != 0 {
+		t.Errorf("Step = (%d, %v), want (0, nil)", n, err)
+	}
+	if b.committed != nil {
+		t.Error("Commit called on an empty round")
+	}
+}
+
+func TestStepRejectsWrongRowCount(t *testing.T) {
+	b := &fakeBackend{view: view(2, ga.Matrix{{0, 0}, {0, 0}})}
+	_, err := Step(b, fixedPolicy{ga.Matrix{{1, 0}}}, 0)
+	if err == nil {
+		t.Fatal("short matrix accepted")
+	}
+	if b.committed != nil {
+		t.Error("Commit called despite malformed matrix")
+	}
+}
+
+func TestStepRejectsOversubscription(t *testing.T) {
+	b := &fakeBackend{view: view(2, ga.Matrix{{0, 0}, {0, 0}})}
+	_, err := Step(b, fixedPolicy{ga.Matrix{{3, 0}, {3, 0}}}, 0)
+	if err == nil || !strings.Contains(err.Error(), "oversubscribed") {
+		t.Fatalf("err = %v, want oversubscription error", err)
+	}
+	if b.committed != nil {
+		t.Error("Commit called despite oversubscription")
+	}
+}
+
+func TestCheckCapacityShape(t *testing.T) {
+	if err := CheckCapacity([]int{4, 4}, ga.Matrix{{1, 1, 1}}); err == nil {
+		t.Error("wrong-shaped row accepted")
+	}
+	if err := CheckCapacity([]int{4, 4}, ga.Matrix{{4, 0}, {0, 4}}); err != nil {
+		t.Errorf("exact-fit matrix rejected: %v", err)
+	}
+}
+
+func TestEqualRow(t *testing.T) {
+	if !EqualRow([]int{1, 2}, []int{1, 2}) {
+		t.Error("equal rows reported unequal")
+	}
+	if EqualRow([]int{1, 2}, []int{2, 1}) || EqualRow([]int{1}, []int{1, 0}) {
+		t.Error("unequal rows reported equal")
+	}
+}

@@ -56,13 +56,12 @@ func (c *Cluster) runEvent() Result {
 	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: evAgent})
 	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: evSched})
 
-	for {
-		e, ok := q.Pop()
-		if !ok {
-			break
-		}
+	// The loop is the generic kernel driver on a virtual clock; the
+	// live-cluster replay engine drives the identical loop shape with a
+	// wall clock (see internal/eventsim.Clock).
+	eventsim.Drive(&q, eventsim.Virtual{}, 0, func(e eventsim.Event) bool {
 		if e.Time > cfg.MaxTime {
-			break
+			return false
 		}
 		c.integrateCost(e.Time)
 		c.now = e.Time
@@ -142,10 +141,8 @@ func (c *Cluster) runEvent() Result {
 			}
 		}
 
-		if c.allDone() {
-			break
-		}
-	}
+		return !c.allDone()
+	})
 
 	// Unfinished tail: account running time and cluster cost up to the
 	// horizon, as the tick engine does.

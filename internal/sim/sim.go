@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/par"
+	rounds "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -222,6 +223,10 @@ type Cluster struct {
 	nodeSeconds  float64
 	lastCost     float64 // event engine: time nodeSeconds was integrated to
 
+	// roundAct is the active-job snapshot of the scheduling round in
+	// flight, set by Round and consumed by Commit (see runtime.Step).
+	roundAct []*jobState
+
 	events []Event
 }
 
@@ -364,11 +369,26 @@ func (c *Cluster) agentTick() {
 	}
 }
 
-// scheduleTick invokes the policy and applies the resulting allocations.
+// scheduleTick runs one scheduling round through the shared
+// runtime.Step core (snapshot, policy, validation, diff, commit). A
+// malformed or oversubscribing policy result aborts the round before
+// any allocation is touched and the simulation carries on with the
+// previous allocations — the same defensive silent skip the engines
+// always had for malformed output (in-tree policies never trip it; a
+// policy that trips it every round shows up as zero completions), now
+// with matrix-wide capacity validation included.
 func (c *Cluster) scheduleTick() {
+	rounds.Step(c, c.policy, c.now) //nolint:errcheck // defensive skip
+}
+
+// Round snapshots the scheduler inputs for runtime.Step: every active
+// job's reported goodput model, fixed configuration, attained service,
+// and current allocation row, in submission order.
+func (c *Cluster) Round(now float64) *sched.ClusterView {
 	act := c.active()
+	c.roundAct = act
 	view := &sched.ClusterView{
-		Now:      c.now,
+		Now:      now,
 		Capacity: c.capacity(),
 		Current:  ga.NewMatrix(len(act), c.cfg.Nodes),
 	}
@@ -390,14 +410,19 @@ func (c *Cluster) scheduleTick() {
 			GPUTime:        j.gpuTime,
 		})
 	}
-	m := c.policy.Schedule(view)
-	if len(m) != len(act) {
-		return // defensive: malformed policy output
-	}
-	for i, j := range act {
+	return view
+}
+
+// Commit installs the validated allocation matrix on the last Round's
+// jobs. applyAlloc diffs each row itself, so the changed flags are not
+// consulted; interference is recomputed once per round, as the tick
+// engines always have.
+func (c *Cluster) Commit(m ga.Matrix, changed []bool) error {
+	for i, j := range c.roundAct {
 		c.applyAlloc(j, m[i])
 	}
 	c.recomputeInterference()
+	return nil
 }
 
 // applyAlloc installs a new allocation row on a job, charging the
