@@ -112,8 +112,10 @@ func BenchmarkTable2SchedulerComparison(b *testing.B) {
 // share of user-configured jobs grows 0% -> 100%.
 func BenchmarkFig7RealisticJobs(b *testing.B) {
 	runExperiment(b, "fig7", map[string]string{
-		"Tiresias/100":       "tiresias-norm@100%",
-		"Optimus+Oracle/100": "optimus-norm@100%",
+		// Keys must match the factory names ("Tiresias+TunedJobs", not
+		// "Tiresias") or runExperiment silently reports nothing.
+		"Tiresias+TunedJobs/100": "tiresias-norm@100%",
+		"Optimus+Oracle/100":     "optimus-norm@100%",
 	})
 }
 

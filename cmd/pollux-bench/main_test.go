@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+)
+
+// baselinePath is the checked-in quick-scale baseline, relative to this
+// package directory (the test working directory).
+var baselinePath = filepath.Join("..", "..", "bench", "baselines", "quick.json")
+
+// TestSmokeAgainstCheckedInBaseline runs one cheap exhibit end to end
+// through the orchestrator — sweep, JSON emission, baseline gate — against
+// the checked-in quick baseline, the same invocation CI's bench job uses
+// (just filtered).
+func TestSmokeAgainstCheckedInBaseline(t *testing.T) {
+	jsonOut := filepath.Join(t.TempDir(), "BENCH.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-exhibits", "fig1a,fig6", "-quiet",
+		"-json", jsonOut,
+		"-baseline", baselinePath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "within tolerance") {
+		t.Errorf("gate report missing on stderr: %s", stderr.String())
+	}
+	rep, err := results.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 2 || rep.Records[0].Exhibit != "fig1a" {
+		t.Fatalf("unexpected report: %+v", rep.Records)
+	}
+	if m, ok := rep.Records[0].Metric("scaling2048"); !ok || m.Value <= 1 || m.Unit != "x" {
+		t.Errorf("scaling2048 metric wrong: %+v (ok=%v)", m, ok)
+	}
+	if rep.Scale != "quick" || rep.GoVersion == "" {
+		t.Errorf("report metadata missing: scale=%q go=%q", rep.Scale, rep.GoVersion)
+	}
+}
+
+// TestPerturbedMetricFailsGate perturbs one baseline metric beyond its
+// tolerance band and checks the gate exits non-zero with a per-metric
+// diff naming it — the acceptance property of the regression gate.
+func TestPerturbedMetricFailsGate(t *testing.T) {
+	base, err := results.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := filepath.Join(t.TempDir(), "perturbed.json")
+	found := false
+	for ri := range base.Records {
+		if base.Records[ri].Exhibit != "fig6" {
+			continue
+		}
+		for mi := range base.Records[ri].Metrics {
+			m := &base.Records[ri].Metrics[mi]
+			if m.Name == "peakRatio" {
+				m.Value *= 1.5 // far beyond any band (peakRatio is exact)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fig6/peakRatio not in baseline")
+	}
+	if err := results.WriteFile(perturbed, base); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exhibits", "fig6", "-quiet", "-baseline", perturbed}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("perturbed baseline passed the gate\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") || !strings.Contains(stderr.String(), "peakRatio") {
+		t.Errorf("diff report missing the perturbed metric:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "outside baseline tolerance") {
+		t.Errorf("stderr summary missing: %s", stderr.String())
+	}
+}
+
+// TestUpdateBaselineRoundTrip writes a fresh baseline, verifies the same
+// tree passes against it, that a second update is byte-identical, and
+// that a filtered update merges instead of truncating.
+func TestUpdateBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exhibits", "fig1a,fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 0 {
+		t.Fatalf("update failed: %d %s", code, errb.String())
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-exhibits", "fig1a,fig6", "-quiet", "-baseline", path}, &out, &errb); code != 0 {
+		t.Fatalf("gate failed against fresh baseline: %s\n%s", errb.String(), out.String())
+	}
+	if code := run([]string{"-exhibits", "fig1a,fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 0 {
+		t.Fatalf("second update failed: %d", code)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("baseline not byte-stable across two runs of an unchanged tree")
+	}
+	// A filtered update keeps the other exhibits.
+	if code := run([]string{"-exhibits", "fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 0 {
+		t.Fatalf("merge update failed: %d", code)
+	}
+	rep, err := results.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Find("fig1a"); !ok {
+		t.Error("filtered -update-baseline truncated other exhibits")
+	}
+}
+
+// TestUpdateRefusesCorruptBaseline: an existing-but-unparseable baseline
+// must fail the update, not be silently truncated to this run's exhibits.
+func TestUpdateRefusesCorruptBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exhibits", "fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if got, _ := os.ReadFile(path); string(got) != "{not json" {
+		t.Error("corrupt baseline was overwritten")
+	}
+	if !strings.Contains(errb.String(), "read baseline for update") {
+		t.Errorf("error not reported: %s", errb.String())
+	}
+}
+
+// TestUpdateRefusesScaleMismatch: a filtered full-scale update must not
+// merge into (and corrupt) the quick baseline.
+func TestUpdateRefusesScaleMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exhibits", "fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 0 {
+		t.Fatalf("seed update failed: %d %s", code, errb.String())
+	}
+	if code := run([]string{"-scale", "full", "-exhibits", "fig6", "-quiet", "-baseline", path, "-update-baseline"}, &out, &errb); code != 1 {
+		t.Fatalf("mixed-scale update: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "scale") {
+		t.Errorf("scale mismatch not reported: %s", errb.String())
+	}
+	rep, err := results.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != "quick" {
+		t.Errorf("baseline scale = %q, want untouched quick", rep.Scale)
+	}
+}
+
+// TestBadFlagsRejected covers the orchestrator's argument validation.
+func TestBadFlagsRejected(t *testing.T) {
+	cases := [][]string{
+		{"-exhibits", "nope"},
+		{"-scale", "medium"},
+		{"-update-baseline"}, // requires -baseline
+		{"-exhibits", " , "},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+	// -h prints usage and exits 0, as it did under flag.ExitOnError.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("run(-h) = %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-baseline") {
+		t.Errorf("usage not printed: %s", errb.String())
+	}
+}

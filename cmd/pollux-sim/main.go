@@ -5,7 +5,12 @@
 //
 //	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick|replay]
 //	           [-jobs 160] [-hours 8] [-nodes 16] [-gpus 4] [-seed 1]
-//	           [-user] [-interference 0.5]
+//	           [-scale quick|full] [-user] [-interference 0.5]
+//
+// -scale presets the cluster shape (-jobs/-hours/-nodes/-gpus/-tick) from
+// the shared quick/full experiment scales (internal/cliutil), so a single
+// simulation matches what pollux-bench sweeps; explicitly-set shape flags
+// win over the preset.
 //
 // The replay engine feeds the trace through the live-testbed control
 // path (internal/cluster: Service, agent reports, scheduling rounds) on
@@ -23,6 +28,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -45,10 +51,37 @@ func main() {
 	overRPC := flag.Bool("rpc", false, "with -engine replay: drive the agent boundary over a loopback net/rpc socket")
 	tick := flag.Float64("tick", 2, "tick seconds (tick engine step / event engine profiling resolution)")
 	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
-	refitWorkers := flag.Int("refitworkers", 0,
-		"max agent refits in flight per report round (0 defaults to GOMAXPROCS; 1 forces serial; results are identical either way)")
 	events := flag.Int("events", 0, "print the last N scheduling events")
+	var sweep cliutil.Sweep
+	sweep.Register(flag.CommandLine, "", false) // -scale preset + -refitworkers
 	flag.Parse()
+
+	if sweep.ScaleName != "" {
+		sc, err := sweep.Scale()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// The preset fills the cluster shape; flags the user set
+		// explicitly keep their values.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["jobs"] {
+			*jobs = sc.Jobs
+		}
+		if !explicit["hours"] {
+			*hours = sc.Hours
+		}
+		if !explicit["nodes"] {
+			*nodes = sc.Nodes
+		}
+		if !explicit["gpus"] {
+			*gpus = sc.GPUsPerNode
+		}
+		if !explicit["tick"] {
+			*tick = sc.Tick
+		}
+	}
 
 	var trace workload.Trace
 	if *traceFile != "" {
@@ -140,9 +173,9 @@ func main() {
 		UseTunedConfig:       !*user,
 		InterferenceSlowdown: *interference,
 		Seed:                 *seed,
-		RefitWorkers:         *refitWorkers,
 		LogEvents:            *events > 0,
 	}
+	sweep.ApplyConfig(&cfg)
 	res := sim.NewCluster(trace, p, cfg).Run()
 	s := res.Summary
 

@@ -1,0 +1,70 @@
+// Package cliutil deduplicates the flag and configuration plumbing
+// shared by the pollux command-line tools (cmd/pollux-bench,
+// cmd/pollux-sim): the quick/full scale presets and the concurrency
+// knobs, which previously were copied flag declarations that drifted
+// whenever a new knob landed in only one tool.
+package cliutil
+
+import (
+	"flag"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// Sweep holds the shared knobs. Register it on a FlagSet, Parse, then
+// apply it to an experiments.Scale (bench sweeps) or a sim.Config
+// (single simulations).
+type Sweep struct {
+	ScaleName    string
+	Parallel     int
+	RefitWorkers int
+}
+
+// Register declares the shared flags. scaleDefault is the -scale default
+// ("quick" for pollux-bench; "" for pollux-sim, where an empty scale
+// means "use the explicit -jobs/-nodes/... flags"). withParallel also
+// declares -parallel, which only makes sense for multi-seed sweeps.
+func (s *Sweep) Register(fs *flag.FlagSet, scaleDefault string, withParallel bool) {
+	usage := "experiment scale preset: quick or full"
+	if scaleDefault == "" {
+		usage += " (empty: use the explicit shape flags)"
+	}
+	fs.StringVar(&s.ScaleName, "scale", scaleDefault, usage)
+	if withParallel {
+		fs.IntVar(&s.Parallel, "parallel", 0,
+			"max per-seed simulations in flight (0 keeps the scale's default, GOMAXPROCS; 1 forces serial)")
+	}
+	fs.IntVar(&s.RefitWorkers, "refitworkers", 0,
+		"max agent refits in flight per report round (0 defaults to GOMAXPROCS; 1 forces serial; results are identical either way)")
+}
+
+// Scale resolves the named preset with the concurrency overrides applied.
+func (s Sweep) Scale() (experiments.Scale, error) {
+	sc, err := experiments.ScaleByName(s.ScaleName)
+	if err != nil {
+		return Scale{}, err
+	}
+	if s.Parallel > 0 {
+		sc.Parallel = s.Parallel
+	}
+	if s.RefitWorkers > 0 {
+		sc.RefitWorkers = s.RefitWorkers
+	}
+	return sc, nil
+}
+
+// Scale aliases experiments.Scale so callers of Sweep.Scale need not
+// import experiments just for the zero value.
+type Scale = experiments.Scale
+
+// ApplyConfig copies the concurrency knobs onto a single-simulation
+// config.
+func (s Sweep) ApplyConfig(cfg *sim.Config) {
+	if s.Parallel > 0 {
+		cfg.Parallel = s.Parallel
+	}
+	if s.RefitWorkers > 0 {
+		cfg.RefitWorkers = s.RefitWorkers
+	}
+}

@@ -32,9 +32,12 @@ func Fig10(sc Scale) Outcome {
 	thr := sim.RunAutoscale(&spec, sched.NewThroughputAutoscaler(1, 16, 0.9), thrCfg)
 
 	o := Outcome{
-		ID:     "fig10",
-		Title:  "Autoscaling ImageNet: goodput-based (Pollux) vs throughput-based (Or et al.)",
-		Header: []string{"time (s)", "nodes (Pollux)", "eff (Pollux)", "nodes (Or et al.)", "eff (Or et al.)"},
+		ID:       "fig10",
+		Title:    "Autoscaling ImageNet: goodput-based (Pollux) vs throughput-based (Or et al.)",
+		Header:   []string{"time (s)", "nodes (Pollux)", "eff (Pollux)", "nodes (Or et al.)", "eff (Or et al.)"},
+		Policies: []string{"GoodputAutoscaler", "ThroughputAutoscaler"},
+		Seeds:    []int64{sc.Seeds[0]},
+		RelTol:   simRelTol,
 	}
 	// Align the two time series onto the longer run's sample grid.
 	n := len(good.Points)
@@ -66,14 +69,14 @@ func Fig10(sc Scale) Outcome {
 
 	costRatio := good.CostNodeSeconds / thr.CostNodeSeconds
 	timeRatio := good.CompletionTime / thr.CompletionTime
-	o.set("pollux/cost", good.CostNodeSeconds)
-	o.set("oretal/cost", thr.CostNodeSeconds)
-	o.set("pollux/time", good.CompletionTime)
-	o.set("oretal/time", thr.CompletionTime)
-	o.set("costRatio", costRatio)
-	o.set("timeRatio", timeRatio)
-	o.set("pollux/avgEff", avgEff(good.Points))
-	o.set("oretal/avgEff", avgEff(thr.Points))
+	o.setUnit("pollux/cost", "node-s", good.CostNodeSeconds)
+	o.setUnit("oretal/cost", "node-s", thr.CostNodeSeconds)
+	o.setUnit("pollux/time", "s", good.CompletionTime)
+	o.setUnit("oretal/time", "s", thr.CompletionTime)
+	o.setUnit("costRatio", "x", costRatio)
+	o.setUnit("timeRatio", "x", timeRatio)
+	o.setUnit("pollux/avgEff", "frac", avgEff(good.Points))
+	o.setUnit("oretal/avgEff", "frac", avgEff(thr.Points))
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"cost: Pollux %.0f node-s vs Or et al. %.0f node-s (%.0f%% cheaper); completion %.0fs vs %.0fs (%.0f%% longer)",
 		good.CostNodeSeconds, thr.CostNodeSeconds, 100*(1-costRatio),

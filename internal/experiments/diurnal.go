@@ -46,6 +46,9 @@ func Diurnal64(sc Scale) Outcome {
 		Header: []string{
 			"policy", "avg JCT", "p99 JCT", "makespan", "goodput (ex/s)", "completed",
 		},
+		Policies: []string{"Pollux", "Tiresias+TunedJobs"},
+		Seeds:    seeds,
+		RelTol:   simRelTol,
 	}
 
 	genTrace := func(rng *rand.Rand) workload.Trace {
@@ -81,15 +84,19 @@ func Diurnal64(sc Scale) Outcome {
 			fmt.Sprintf("%.0f", sum.AvgGoodputX),
 			fmt.Sprintf("%d/%d", sum.Completed, sum.Total),
 		})
-		o.set(f.name+"/avgJCT", sum.AvgJCT)
-		o.set(f.name+"/p99JCT", sum.P99JCT)
-		o.set(f.name+"/makespan", sum.Makespan)
-		o.set(f.name+"/goodput", sum.AvgGoodputX)
-		o.set(f.name+"/completed", float64(sum.Completed))
-		o.set(f.name+"/total", float64(sum.Total))
+		o.setUnit(f.name+"/avgJCT", "s", sum.AvgJCT)
+		o.setUnit(f.name+"/p99JCT", "s", sum.P99JCT)
+		o.setUnit(f.name+"/makespan", "s", sum.Makespan)
+		o.setUnit(f.name+"/goodput", "ex/s", sum.AvgGoodputX)
+		o.setUnit(f.name+"/completed", "jobs", float64(sum.Completed))
+		o.setUnit(f.name+"/total", "jobs", float64(sum.Total))
 	}
-	o.set("days", days)
-	o.set("expectedJobs", float64(expJobs))
+	// Configuration echoes: exact by construction, so gate them exactly —
+	// a drift here means the exhibit's shape changed, not its results.
+	o.setUnit("days", "days", days)
+	o.setTol("days", 0, 0)
+	o.setUnit("expectedJobs", "jobs", float64(expJobs))
+	o.setTol("expectedJobs", 0, 0)
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"inhomogeneous Poisson arrivals, 24h cycle peak/trough = 3.0, %d nodes x %d GPUs, %d seed(s)",
 		nodes, perNode, len(seeds)))

@@ -12,9 +12,11 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/results"
 )
 
 // Outcome is one regenerated table or figure.
@@ -27,7 +29,30 @@ type Outcome struct {
 	// Values holds machine-readable results keyed by experiment-specific
 	// names, consumed by tests and EXPERIMENTS.md tooling.
 	Values map[string]float64
+
+	// Results-pipeline metadata (see internal/results). Policies and
+	// Seeds identify the configuration axes behind the numbers; RelTol
+	// is the default per-metric tolerance band granted to this exhibit
+	// by the baseline regression gate. Closed-form exhibits leave it 0
+	// (exact match — any drift is a behavior change, including rng
+	// draw-order perturbations, which are load-bearing here), while
+	// sim-backed exhibits carry a small band because intentional model
+	// changes legitimately move trajectories at the last digits.
+	Policies []string
+	Seeds    []int64
+	RelTol   float64
+	units    map[string]string
+	tols     map[string]tolBand
 }
+
+type tolBand struct{ rel, abs float64 }
+
+// simRelTol is the default baseline-gate band for simulation-backed
+// exhibits: wide enough that an intentional last-digit perturbation of
+// the fitted models (the warm-refit cadence moved exhibit values there
+// in PR 3) does not trip the gate, narrow enough that losing a policy's
+// ordering or a percent-level scheduling regression does.
+const simRelTol = 0.05
 
 // String renders the outcome as an aligned text table.
 func (o Outcome) String() string {
@@ -45,6 +70,53 @@ func (o *Outcome) set(key string, v float64) {
 		o.Values = make(map[string]float64)
 	}
 	o.Values[key] = v
+}
+
+// setUnit records a metric with a unit ("s", "ex/s", "x", ...).
+func (o *Outcome) setUnit(key, unit string, v float64) {
+	o.set(key, v)
+	if o.units == nil {
+		o.units = make(map[string]string)
+	}
+	o.units[key] = unit
+}
+
+// setTol overrides the exhibit-default tolerance band for one metric:
+// |v-base| <= rel*max(|v|,|base|) + abs. Used where a relative band is
+// the wrong shape — e.g. parity deltas that hover near zero get an
+// absolute band instead.
+func (o *Outcome) setTol(key string, rel, abs float64) {
+	if o.tols == nil {
+		o.tols = make(map[string]tolBand)
+	}
+	o.tols[key] = tolBand{rel: rel, abs: abs}
+}
+
+// Record converts the outcome into the typed form consumed by the
+// results pipeline (JSON emission, baseline gate). Metrics are sorted by
+// name so emission does not depend on map iteration order.
+func (o Outcome) Record(scale string) results.Record {
+	r := results.Record{
+		Exhibit:  o.ID,
+		Title:    o.Title,
+		Scale:    scale,
+		Policies: append([]string(nil), o.Policies...),
+		Seeds:    append([]int64(nil), o.Seeds...),
+		Notes:    append([]string(nil), o.Notes...),
+	}
+	keys := make([]string, 0, len(o.Values))
+	for k := range o.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := results.Metric{Name: k, Value: o.Values[k], Unit: o.units[k], RelTol: o.RelTol}
+		if t, ok := o.tols[k]; ok {
+			m.RelTol, m.AbsTol = t.rel, t.abs
+		}
+		r.Metrics = append(r.Metrics, m)
+	}
+	return r
 }
 
 // Scale controls the cost of the simulation-backed experiments.
@@ -104,6 +176,50 @@ func FullScale() Scale {
 		Days:     2,
 		Parallel: runtime.GOMAXPROCS(0),
 	}
+}
+
+// ScaleByName resolves the scale presets exposed by the command-line
+// tools (see internal/cliutil).
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return QuickScale(), nil
+	case "full":
+		return FullScale(), nil
+	}
+	return Scale{}, fmt.Errorf("unknown scale %q (want quick or full)", name)
+}
+
+// headlines selects, per exhibit, the few metrics that summarize its
+// reproduction claim — the rows worth a markdown table or a benchmark
+// metric, as opposed to the full per-cell series kept in the baselines.
+var headlines = map[string][]string{
+	"fig1a":  {"scaling512", "scaling2048"},
+	"fig1b":  {"first/16", "second/16"},
+	"fig2a":  {"e8000/0.0", "e8000/1.0"},
+	"fig2b":  {"phiMeasured", "phiTrue", "maxAbsErr"},
+	"fig3":   {"meanRelErr", "rmsle"},
+	"fig6":   {"peakRatio"},
+	"table2": {"Pollux/avgJCT", "Optimus+Oracle/avgJCT", "Tiresias+TunedJobs/avgJCT", "reductionVsOptimus", "reductionVsTiresias", "Pollux/eff", "Tiresias+TunedJobs/eff"},
+	"fig7":   {"Pollux/abs/0", "Pollux/abs/100", "Optimus+Oracle/100", "Tiresias+TunedJobs/100"},
+	"fig8":   {"Pollux/degradation", "Optimus+Oracle/degradation", "Tiresias+TunedJobs/degradation"},
+	"table3": {"avg/0.5", "p50/0.5", "p99/0.5"},
+	"fig9":   {"on/0.50", "off/0.50"},
+	"fig10":  {"costRatio", "timeRatio", "pollux/avgEff", "oretal/avgEff"},
+	"diurnal64": {"Pollux/avgJCT", "Tiresias+TunedJobs/avgJCT", "Pollux/p99JCT", "Tiresias+TunedJobs/p99JCT",
+		"Pollux/goodput", "Tiresias+TunedJobs/goodput", "Pollux/completed", "Tiresias+TunedJobs/completed"},
+	"replayparity": {"Pollux/dJCT", "Pollux/dGoodput", "Optimus+Oracle/dJCT", "Tiresias+TunedJobs/dJCT"},
+	"validate":     {"worstOff"},
+}
+
+// Headlines returns the exhibit-id → headline-metric registry shared by
+// cmd/pollux-bench's markdown rendering and the root benchmarks.
+func Headlines() map[string][]string {
+	out := make(map[string][]string, len(headlines))
+	for id, names := range headlines {
+		out[id] = append([]string(nil), names...)
+	}
+	return out
 }
 
 // All returns every experiment id in paper order.

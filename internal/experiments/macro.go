@@ -32,6 +32,16 @@ func (sc Scale) factories() []policyFactory {
 	}
 }
 
+// policyNames lists the factories' display names, for Outcome metadata.
+func (sc Scale) policyNames() []string {
+	fs := sc.factories()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.name
+	}
+	return names
+}
+
 func (sc Scale) genTrace(jobs int) func(rng *rand.Rand) workload.Trace {
 	return func(rng *rand.Rand) workload.Trace {
 		return workload.Generate(rng, workload.Options{
@@ -55,9 +65,12 @@ func (sc Scale) simConfig() sim.Config {
 // throughput/goodput comparisons.
 func Table2(sc Scale) Outcome {
 	o := Outcome{
-		ID:     "table2",
-		Title:  "Scheduler comparison on ideally-tuned jobs",
-		Header: []string{"policy", "avg JCT", "p99 JCT", "makespan", "stat.eff", "tput (ex/s)", "goodput (ex/s)"},
+		ID:       "table2",
+		Title:    "Scheduler comparison on ideally-tuned jobs",
+		Header:   []string{"policy", "avg JCT", "p99 JCT", "makespan", "stat.eff", "tput (ex/s)", "goodput (ex/s)"},
+		Policies: sc.policyNames(),
+		Seeds:    sc.Seeds,
+		RelTol:   simRelTol,
 	}
 	var polluxJCT float64
 	for _, f := range sc.factories() {
@@ -69,20 +82,20 @@ func Table2(sc Scale) Outcome {
 			fmt.Sprintf("%.0f", sum.AvgThroughputX),
 			fmt.Sprintf("%.0f", sum.AvgGoodputX),
 		})
-		o.set(f.name+"/avgJCT", sum.AvgJCT)
-		o.set(f.name+"/p99JCT", sum.P99JCT)
-		o.set(f.name+"/makespan", sum.Makespan)
-		o.set(f.name+"/eff", sum.AvgEfficiency)
-		o.set(f.name+"/tput", sum.AvgThroughputX)
-		o.set(f.name+"/goodput", sum.AvgGoodputX)
+		o.setUnit(f.name+"/avgJCT", "s", sum.AvgJCT)
+		o.setUnit(f.name+"/p99JCT", "s", sum.P99JCT)
+		o.setUnit(f.name+"/makespan", "s", sum.Makespan)
+		o.setUnit(f.name+"/eff", "frac", sum.AvgEfficiency)
+		o.setUnit(f.name+"/tput", "ex/s", sum.AvgThroughputX)
+		o.setUnit(f.name+"/goodput", "ex/s", sum.AvgGoodputX)
 		if f.name == "Pollux" {
 			polluxJCT = sum.AvgJCT
 		}
 	}
 	vsOptimus := 1 - polluxJCT/o.Values["Optimus+Oracle/avgJCT"]
 	vsTiresias := 1 - polluxJCT/o.Values["Tiresias+TunedJobs/avgJCT"]
-	o.set("reductionVsOptimus", vsOptimus)
-	o.set("reductionVsTiresias", vsTiresias)
+	o.setUnit("reductionVsOptimus", "frac", vsOptimus)
+	o.setUnit("reductionVsTiresias", "frac", vsTiresias)
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"Pollux avg-JCT reduction: %.0f%% vs Optimus+Oracle, %.0f%% vs Tiresias+TunedJobs (paper sim: 26%% and 40%%)",
 		100*vsOptimus, 100*vsTiresias))
@@ -93,9 +106,12 @@ func Table2(sc Scale) Outcome {
 // realistically (user-)configured jobs grows from 0% to 100%.
 func Fig7(sc Scale) Outcome {
 	o := Outcome{
-		ID:     "fig7",
-		Title:  "Normalized avg JCT vs ratio of user-configured jobs",
-		Header: []string{"user-configured", "Pollux", "Optimus+Oracle", "Tiresias"},
+		ID:       "fig7",
+		Title:    "Normalized avg JCT vs ratio of user-configured jobs",
+		Header:   []string{"user-configured", "Pollux", "Optimus+Oracle", "Tiresias"},
+		Policies: sc.policyNames(),
+		Seeds:    sc.Seeds,
+		RelTol:   simRelTol,
 	}
 	ratios := []float64{0, 1.0 / 3, 2.0 / 3, 1}
 	for _, userRatio := range ratios {
@@ -117,8 +133,8 @@ func Fig7(sc Scale) Outcome {
 			}
 			norm := sum.AvgJCT / pollux
 			row = append(row, fmt.Sprintf("%.2f", norm))
-			o.set(fmt.Sprintf("%s/%.0f", f.name, 100*userRatio), norm)
-			o.set(fmt.Sprintf("%s/abs/%.0f", f.name, 100*userRatio), sum.AvgJCT)
+			o.setUnit(fmt.Sprintf("%s/%.0f", f.name, 100*userRatio), "x", norm)
+			o.setUnit(fmt.Sprintf("%s/abs/%.0f", f.name, 100*userRatio), "s", sum.AvgJCT)
 		}
 		o.Rows = append(o.Rows, row)
 	}
@@ -130,9 +146,12 @@ func Fig7(sc Scale) Outcome {
 // Fig8 reproduces Fig. 8: average JCT under increasing job load.
 func Fig8(sc Scale) Outcome {
 	o := Outcome{
-		ID:     "fig8",
-		Title:  "Avg JCT vs relative job load",
-		Header: []string{"load", "Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"},
+		ID:       "fig8",
+		Title:    "Avg JCT vs relative job load",
+		Header:   []string{"load", "Pollux", "Optimus+Oracle", "Tiresias+TunedJobs"},
+		Policies: sc.policyNames(),
+		Seeds:    sc.Seeds,
+		RelTol:   simRelTol,
 	}
 	for _, load := range []float64{0.5, 1.0, 1.5, 2.0} {
 		jobs := int(float64(sc.Jobs)*load + 0.5)
@@ -140,13 +159,13 @@ func Fig8(sc Scale) Outcome {
 		for _, f := range sc.factories() {
 			sum := sim.RunSeeds(sc.Seeds, sc.genTrace(jobs), f.make, sc.simConfig())
 			row = append(row, metrics.Hours(sum.AvgJCT))
-			o.set(fmt.Sprintf("%s/%.1f", f.name, load), sum.AvgJCT)
+			o.setUnit(fmt.Sprintf("%s/%.1f", f.name, load), "s", sum.AvgJCT)
 		}
 		o.Rows = append(o.Rows, row)
 	}
 	for _, f := range sc.factories() {
 		ratio := o.Values[fmt.Sprintf("%s/2.0", f.name)] / o.Values[fmt.Sprintf("%s/0.5", f.name)]
-		o.set(f.name+"/degradation", ratio)
+		o.setUnit(f.name+"/degradation", "x", ratio)
 	}
 	o.Notes = append(o.Notes,
 		"paper: at 2x load Pollux degrades 1.8x vs 2.0x (Optimus) and 2.6x (Tiresias); advantage widens with load")
@@ -157,9 +176,12 @@ func Fig8(sc Scale) Outcome {
 // (Eqn. 16) on Pollux JCT percentiles, relative to λ = 0.
 func Table3(sc Scale) Outcome {
 	o := Outcome{
-		ID:     "table3",
-		Title:  "Job-weight decay λ (relative to λ=0)",
-		Header: []string{"lambda", "avg JCT", "p50 JCT", "p99 JCT"},
+		ID:       "table3",
+		Title:    "Job-weight decay λ (relative to λ=0)",
+		Header:   []string{"lambda", "avg JCT", "p50 JCT", "p99 JCT"},
+		Policies: []string{"Pollux"},
+		Seeds:    sc.Seeds,
+		RelTol:   simRelTol,
 	}
 	type r struct{ avg, p50, p99 float64 }
 	var base r
@@ -181,9 +203,9 @@ func Table3(sc Scale) Outcome {
 			fmt.Sprintf("%.2f", cur.p50/base.p50),
 			fmt.Sprintf("%.2f", cur.p99/base.p99),
 		})
-		o.set(fmt.Sprintf("avg/%.1f", lambda), cur.avg/base.avg)
-		o.set(fmt.Sprintf("p50/%.1f", lambda), cur.p50/base.p50)
-		o.set(fmt.Sprintf("p99/%.1f", lambda), cur.p99/base.p99)
+		o.setUnit(fmt.Sprintf("avg/%.1f", lambda), "x", cur.avg/base.avg)
+		o.setUnit(fmt.Sprintf("p50/%.1f", lambda), "x", cur.p50/base.p50)
+		o.setUnit(fmt.Sprintf("p99/%.1f", lambda), "x", cur.p99/base.p99)
 	}
 	o.Notes = append(o.Notes,
 		"paper: λ=0.5 improves p50 to 0.77 and avg to 0.95 while p99 degrades slightly (1.05)")
@@ -195,9 +217,12 @@ func Table3(sc Scale) Outcome {
 // disabled.
 func Fig9(sc Scale) Outcome {
 	o := Outcome{
-		ID:     "fig9",
-		Title:  "Interference slowdown: avoidance enabled vs disabled",
-		Header: []string{"slowdown", "avoid on (norm)", "avoid off (norm)"},
+		ID:       "fig9",
+		Title:    "Interference slowdown: avoidance enabled vs disabled",
+		Header:   []string{"slowdown", "avoid on (norm)", "avoid off (norm)"},
+		Policies: []string{"Pollux"},
+		Seeds:    sc.Seeds,
+		RelTol:   simRelTol,
 	}
 	mk := func(disable bool) func(seed int64) sched.Policy {
 		return func(seed int64) sched.Policy {
@@ -221,8 +246,8 @@ func Fig9(sc Scale) Outcome {
 			fmt.Sprintf("%.2f", on.AvgJCT/baseOn),
 			fmt.Sprintf("%.2f", off.AvgJCT/baseOn),
 		})
-		o.set(fmt.Sprintf("on/%.2f", slow), on.AvgJCT/baseOn)
-		o.set(fmt.Sprintf("off/%.2f", slow), off.AvgJCT/baseOn)
+		o.setUnit(fmt.Sprintf("on/%.2f", slow), "x", on.AvgJCT/baseOn)
+		o.setUnit(fmt.Sprintf("off/%.2f", slow), "x", off.AvgJCT/baseOn)
 	}
 	o.Notes = append(o.Notes,
 		"paper: with avoidance JCT is flat across slowdowns; without it JCT grows to 1.4x at 50% slowdown, and at 0% slowdown disabling avoidance helps only ~2%")

@@ -32,13 +32,13 @@ func Fig1a() Outcome {
 		o.Rows = append(o.Rows, []string{
 			fmt.Sprint(k), fmt.Sprintf("%.0f", t512), fmt.Sprintf("%.0f", t2048),
 		})
-		o.set(fmt.Sprintf("tput512/%d", k), t512)
-		o.set(fmt.Sprintf("tput2048/%d", k), t2048)
+		o.setUnit(fmt.Sprintf("tput512/%d", k), "ex/s", t512)
+		o.setUnit(fmt.Sprintf("tput2048/%d", k), "ex/s", t2048)
 	}
 	gain512 := o.Values["tput512/16"] / o.Values["tput512/1"]
 	gain2048 := o.Values["tput2048/16"] / o.Values["tput2048/1"]
-	o.set("scaling512", gain512)
-	o.set("scaling2048", gain2048)
+	o.setUnit("scaling512", "x", gain512)
+	o.setUnit("scaling2048", "x", gain2048)
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"16-GPU scaling: %.1fx at batch 512 vs %.1fx at batch 2048 (paper: larger batch scales better)",
 		gain512, gain2048))
@@ -61,8 +61,8 @@ func Fig1b() Outcome {
 		mf, _, _ := first.OptimalBatch(pl)
 		ms, _, _ := second.OptimalBatch(pl)
 		o.Rows = append(o.Rows, []string{fmt.Sprint(k), fmt.Sprint(mf), fmt.Sprint(ms)})
-		o.set(fmt.Sprintf("first/%d", k), float64(mf))
-		o.set(fmt.Sprintf("second/%d", k), float64(ms))
+		o.setUnit(fmt.Sprintf("first/%d", k), "examples", float64(mf))
+		o.setUnit(fmt.Sprintf("second/%d", k), "examples", float64(ms))
 	}
 	o.Notes = append(o.Notes,
 		"paper: the best batch size grows with allocated GPUs and with training progress")
@@ -86,8 +86,8 @@ func Fig2a() Outcome {
 		o.Rows = append(o.Rows, []string{
 			fmt.Sprintf("%.1f", p), fmt.Sprintf("%.3f", e800), fmt.Sprintf("%.3f", e8000),
 		})
-		o.set(fmt.Sprintf("e800/%.1f", p), e800)
-		o.set(fmt.Sprintf("e8000/%.1f", p), e8000)
+		o.setUnit(fmt.Sprintf("e800/%.1f", p), "frac", e800)
+		o.setUnit(fmt.Sprintf("e8000/%.1f", p), "frac", e8000)
 	}
 	o.Notes = append(o.Notes,
 		"efficiency gap between batch sizes narrows late in training; decay milestones jump it upward")
@@ -143,8 +143,8 @@ func Fig2b() Outcome {
 		o.Rows = append(o.Rows, []string{
 			fmt.Sprint(m), fmt.Sprintf("%.3f", actual), fmt.Sprintf("%.3f", pred),
 		})
-		o.set(fmt.Sprintf("actual/%d", m), actual)
-		o.set(fmt.Sprintf("pred/%d", m), pred)
+		o.setUnit(fmt.Sprintf("actual/%d", m), "frac", actual)
+		o.setUnit(fmt.Sprintf("pred/%d", m), "frac", pred)
 	}
 	o.set("phiTrue", phiTrue)
 	o.set("phiMeasured", phiMeasured)
@@ -177,6 +177,11 @@ func Fig3() Outcome {
 		ID:     "fig3",
 		Title:  "Throughput model fit (ResNet-50): actual vs model",
 		Header: []string{"sweep", "x", "actual imgs/s", "model imgs/s"},
+		// The fit itself is deterministic, but optimizer tweaks (warm
+		// starts, line-search changes) legitimately move the minimum at
+		// the percent level, so the gate grants a small band rather than
+		// the exact match the other closed-form exhibits get.
+		RelTol: 0.02,
 	}
 	sumRelErr, n := 0.0, 0
 	// 3a: throughput vs nodes at batch 2048 (4 GPUs per node).
@@ -202,7 +207,7 @@ func Fig3() Outcome {
 		})
 	}
 	meanErr := sumRelErr / float64(n)
-	o.set("meanRelErr", meanErr)
+	o.setUnit("meanRelErr", "frac", meanErr)
 	o.set("rmsle", core.RMSLE(fit, samples))
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"mean relative error of fit across both sweeps: %.1f%% (paper: model represents data closely)",
@@ -230,9 +235,9 @@ func Fig6() Outcome {
 	for h, c := range counts {
 		bar := histBar(int(math.Round(40 * float64(c) / float64(peak))))
 		o.Rows = append(o.Rows, []string{fmt.Sprint(h + 1), fmt.Sprint(c), bar})
-		o.set(fmt.Sprintf("hour/%d", h+1), float64(c))
+		o.setUnit(fmt.Sprintf("hour/%d", h+1), "jobs", float64(c))
 	}
-	o.set("peakRatio", float64(counts[3])/float64(counts[0]))
+	o.setUnit("peakRatio", "x", float64(counts[3])/float64(counts[0]))
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"hour-4 peak is %.1fx the hour-1 rate (paper: 3x)", o.Values["peakRatio"]))
 	return o

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/results"
+)
+
+// TestOutcomeRecord pins the Outcome → results.Record conversion: metric
+// sorting, units, default and per-metric tolerance bands, and metadata.
+func TestOutcomeRecord(t *testing.T) {
+	o := Outcome{
+		ID: "x", Title: "t", Policies: []string{"Pollux"}, Seeds: []int64{1, 2},
+		RelTol: 0.05,
+		Notes:  []string{"n"},
+	}
+	o.setUnit("b/metric", "s", 2.0)
+	o.set("a/metric", 1.0)
+	o.setUnit("c/metric", "frac", 3.0)
+	o.setTol("c/metric", 0, 0.25)
+
+	r := o.Record("quick")
+	if r.Exhibit != "x" || r.Scale != "quick" || len(r.Seeds) != 2 || r.Policies[0] != "Pollux" {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	if len(r.Metrics) != 3 {
+		t.Fatalf("metrics = %d, want 3", len(r.Metrics))
+	}
+	for i, want := range []string{"a/metric", "b/metric", "c/metric"} {
+		if r.Metrics[i].Name != want {
+			t.Errorf("metric[%d] = %q, want %q (sorted)", i, r.Metrics[i].Name, want)
+		}
+	}
+	if m := r.Metrics[0]; m.Unit != "" || m.RelTol != 0.05 || m.AbsTol != 0 {
+		t.Errorf("default band not applied: %+v", m)
+	}
+	if m := r.Metrics[1]; m.Unit != "s" || m.RelTol != 0.05 {
+		t.Errorf("unit lost: %+v", m)
+	}
+	if m := r.Metrics[2]; m.RelTol != 0 || m.AbsTol != 0.25 {
+		t.Errorf("per-metric override not applied: %+v", m)
+	}
+	if len(r.Notes) != 1 {
+		t.Errorf("notes lost: %+v", r.Notes)
+	}
+}
+
+// TestHeadlinesCoverEveryExhibit keeps the headline registry in sync with
+// the exhibit registry, and its metric names in sync with what the
+// exhibits actually emit: the cheap closed-form exhibits are re-run, the
+// sim-backed ones are cross-checked against the checked-in quick
+// baseline. A dead name would silently vanish from -md tables (the
+// fig7 benchmark had exactly this bug with a renamed policy key).
+func TestHeadlinesCoverEveryExhibit(t *testing.T) {
+	h := Headlines()
+	for _, id := range All() {
+		if len(h[id]) == 0 {
+			t.Errorf("exhibit %s has no headline metrics", id)
+		}
+	}
+	for id := range h {
+		found := false
+		for _, known := range All() {
+			if id == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("headline entry %s is not a registered exhibit", id)
+		}
+	}
+	cheap := map[string]bool{}
+	for _, id := range []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6"} {
+		cheap[id] = true
+		o, err := Run(id, QuickScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range h[id] {
+			if _, ok := o.Values[name]; !ok {
+				t.Errorf("%s: headline metric %q not emitted", id, name)
+			}
+		}
+	}
+	base, err := results.ReadFile(filepath.Join("..", "..", "bench", "baselines", "quick.json"))
+	if err != nil {
+		t.Fatalf("read quick baseline: %v", err)
+	}
+	for _, id := range All() {
+		if cheap[id] {
+			continue
+		}
+		rec, ok := base.Find(id)
+		if !ok {
+			t.Errorf("%s: not in the quick baseline", id)
+			continue
+		}
+		for _, name := range h[id] {
+			if _, ok := rec.Metric(name); !ok {
+				t.Errorf("%s: headline metric %q not in the baseline (dead name?)", id, name)
+			}
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	q, err := ScaleByName("quick")
+	if err != nil || q.Jobs != QuickScale().Jobs {
+		t.Errorf("quick: %+v, %v", q, err)
+	}
+	f, err := ScaleByName("full")
+	if err != nil || f.Jobs != FullScale().Jobs {
+		t.Errorf("full: %+v, %v", f, err)
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}

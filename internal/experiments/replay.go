@@ -24,6 +24,9 @@ func ReplayParity(sc Scale) (Outcome, error) {
 		Title: fmt.Sprintf("Simulator vs testbed-replay parity (%d nodes x %d GPUs)", sc.Nodes, sc.GPUsPerNode),
 		Header: []string{"policy", "sim JCT", "replay JCT", "dJCT",
 			"sim goodput", "replay goodput", "dGoodput"},
+		Policies: sc.policyNames(),
+		Seeds:    []int64{1},
+		RelTol:   simRelTol,
 	}
 	rng := rand.New(rand.NewSource(1))
 	tr := workload.Generate(rng, workload.Options{
@@ -51,12 +54,18 @@ func ReplayParity(sc Scale) (Outcome, error) {
 			fmt.Sprintf("%.0f ex/s", repRes.AvgGoodput),
 			fmt.Sprintf("%+.1f%%", 100*dGood),
 		})
-		o.set(f.name+"/simJCT", simRes.Summary.AvgJCT)
-		o.set(f.name+"/replayJCT", repRes.Summary.AvgJCT)
-		o.set(f.name+"/dJCT", math.Abs(dJCT))
-		o.set(f.name+"/dGoodput", math.Abs(dGood))
-		o.set(f.name+"/completedDelta",
+		o.setUnit(f.name+"/simJCT", "s", simRes.Summary.AvgJCT)
+		o.setUnit(f.name+"/replayJCT", "s", repRes.Summary.AvgJCT)
+		// The parity deltas hover near zero, where a relative band is
+		// meaningless; grant them the absolute band of the parity bar
+		// (5% on the standard trace, TestReplayVsSimParity).
+		o.setUnit(f.name+"/dJCT", "frac", math.Abs(dJCT))
+		o.setTol(f.name+"/dJCT", 0, 0.05)
+		o.setUnit(f.name+"/dGoodput", "frac", math.Abs(dGood))
+		o.setTol(f.name+"/dGoodput", 0, 0.05)
+		o.setUnit(f.name+"/completedDelta", "jobs",
 			math.Abs(float64(simRes.Summary.Completed-repRes.Summary.Completed)))
+		o.setTol(f.name+"/completedDelta", 0, 2)
 	}
 	o.Notes = append(o.Notes,
 		"replay drives the live testbed control path (Service, reports, runtime.Step) on virtual time")

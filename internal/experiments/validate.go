@@ -40,6 +40,12 @@ func Validate(sc Scale) Outcome {
 		ID:     "validate",
 		Title:  "Eqn. 7 vs real data-parallel SGD (least squares, extension)",
 		Header: []string{"batch", "examples to target", "actual ratio", "Eqn.7 predicted", "phi measured"},
+		Seeds:  []int64{sc.Seeds[0]},
+		// Real SGD runs to a loss target: a one-step change in when the
+		// target is crossed moves the examples ratio by a whole
+		// evaluation interval, so the band is wider than the simulator
+		// exhibits'.
+		RelTol: 0.10,
 	}
 	base := runAt(m0)
 	o.Rows = append(o.Rows, []string{
@@ -61,8 +67,8 @@ func Validate(sc Scale) Outcome {
 			fmt.Sprintf("%.2f", actual), fmt.Sprintf("%.2f", pred),
 			fmt.Sprintf("%.0f", st.Phi),
 		})
-		o.set(fmt.Sprintf("actual/%d", m), actual)
-		o.set(fmt.Sprintf("pred/%d", m), pred)
+		o.setUnit(fmt.Sprintf("actual/%d", m), "x", actual)
+		o.setUnit(fmt.Sprintf("pred/%d", m), "x", pred)
 		off := actual / pred
 		if off < 1 {
 			off = 1 / off
@@ -71,7 +77,8 @@ func Validate(sc Scale) Outcome {
 			worst = off
 		}
 	}
-	o.set("worstOff", worst)
+	o.setUnit("worstOff", "x", worst)
+	o.setTol("worstOff", 0.3, 0)
 	o.Notes = append(o.Notes, fmt.Sprintf(
 		"worst actual-vs-predicted discrepancy across batch sizes: %.2fx (model validated on real SGD)", worst))
 	return o

@@ -103,7 +103,11 @@ func Summarize(records []JobRecord) Summary {
 	return s
 }
 
-// Average element-wise averages summaries from repeated traces.
+// Average element-wise averages summaries from repeated traces: counts
+// accumulate, every other field is averaged — including the optional
+// relative factors, which earlier versions silently dropped (sim.RunSeeds
+// re-fills them from per-run results and is unaffected, but any other
+// caller would have lost them).
 func Average(runs []Summary) Summary {
 	if len(runs) == 0 {
 		return Summary{}
@@ -118,6 +122,8 @@ func Average(runs []Summary) Summary {
 		out.P99JCT += r.P99JCT / n
 		out.Makespan += r.Makespan / n
 		out.AvgEfficiency += r.AvgEfficiency / n
+		out.AvgThroughputX += r.AvgThroughputX / n
+		out.AvgGoodputX += r.AvgGoodputX / n
 	}
 	return out
 }

@@ -128,8 +128,10 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestAverage(t *testing.T) {
 	runs := []Summary{
-		{Completed: 10, Total: 10, AvgJCT: 100, P50JCT: 80, P99JCT: 300, Makespan: 1000, AvgEfficiency: 0.9},
-		{Completed: 8, Total: 10, AvgJCT: 200, P50JCT: 120, P99JCT: 500, Makespan: 2000, AvgEfficiency: 0.7},
+		{Completed: 10, Total: 10, AvgJCT: 100, P50JCT: 80, P99JCT: 300, Makespan: 1000, AvgEfficiency: 0.9,
+			AvgThroughputX: 8000, AvgGoodputX: 5000},
+		{Completed: 8, Total: 10, AvgJCT: 200, P50JCT: 120, P99JCT: 500, Makespan: 2000, AvgEfficiency: 0.7,
+			AvgThroughputX: 6000, AvgGoodputX: 4000},
 	}
 	a := Average(runs)
 	if a.Completed != 18 || a.Total != 20 {
@@ -140,6 +142,11 @@ func TestAverage(t *testing.T) {
 	}
 	if math.Abs(a.AvgEfficiency-0.8) > 1e-9 {
 		t.Errorf("AvgEfficiency = %v, want 0.8", a.AvgEfficiency)
+	}
+	// The relative factors average like every other field (they used to
+	// be silently dropped).
+	if math.Abs(a.AvgThroughputX-7000) > 1e-9 || math.Abs(a.AvgGoodputX-4500) > 1e-9 {
+		t.Errorf("relative factors = %v/%v, want 7000/4500", a.AvgThroughputX, a.AvgGoodputX)
 	}
 	if z := Average(nil); z != (Summary{}) {
 		t.Errorf("Average(nil) = %+v, want zero", z)

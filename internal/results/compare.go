@@ -1,0 +1,205 @@
+package results
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Diff kinds, ordered roughly by severity. Every kind fails the gate: a
+// structural mismatch (missing/new exhibits or metrics) means the
+// baseline no longer describes what the sweep measures and needs an
+// explicit -update-baseline, which is exactly the review hook the gate
+// exists to force.
+const (
+	KindRegression     = "regression"
+	KindMissingExhibit = "missing-exhibit"
+	KindNewExhibit     = "new-exhibit"
+	KindMissingMetric  = "missing-metric"
+	KindNewMetric      = "new-metric"
+	KindScaleMismatch  = "scale-mismatch"
+)
+
+// Diff is one gate failure.
+type Diff struct {
+	Kind    string
+	Exhibit string
+	Metric  string
+	Unit    string
+	Base    float64
+	Cur     float64
+	RelTol  float64
+	AbsTol  float64
+}
+
+func (d Diff) String() string {
+	name := d.Exhibit
+	if d.Metric != "" {
+		name += "/" + d.Metric
+	}
+	unit := d.Unit
+	if unit != "" {
+		unit = " " + unit
+	}
+	switch d.Kind {
+	case KindRegression:
+		band := fmt.Sprintf("±%.3g%% rel", 100*d.RelTol)
+		if d.RelTol == 0 && d.AbsTol == 0 {
+			band = "exact"
+		} else if d.AbsTol != 0 {
+			band += fmt.Sprintf(" ±%.3g abs", d.AbsTol)
+		}
+		delta := "n/a"
+		if d.Base != 0 {
+			delta = fmt.Sprintf("%+.2f%%", 100*(d.Cur/d.Base-1))
+		}
+		return fmt.Sprintf("REGRESSION  %s: baseline %g%s, got %g%s (%s, tolerance %s)",
+			name, d.Base, unit, d.Cur, unit, delta, band)
+	case KindMissingExhibit:
+		return fmt.Sprintf("MISSING     %s: exhibit in baseline but not produced by this run", name)
+	case KindNewExhibit:
+		return fmt.Sprintf("NEW         %s: exhibit not in baseline (refresh with -update-baseline)", name)
+	case KindMissingMetric:
+		return fmt.Sprintf("MISSING     %s: metric in baseline but not emitted (baseline %g%s)", name, d.Base, unit)
+	case KindNewMetric:
+		return fmt.Sprintf("NEW         %s: metric not in baseline (got %g%s; refresh with -update-baseline)", name, d.Cur, unit)
+	case KindScaleMismatch:
+		return fmt.Sprintf("SCALE       baseline is scale %q but this run is scale %q", d.Exhibit, d.Metric)
+	default:
+		return fmt.Sprintf("%s %s", d.Kind, name)
+	}
+}
+
+// Options tunes Compare.
+type Options struct {
+	// Subset marks a filtered run (-exhibits ...): baseline exhibits the
+	// run did not produce are skipped instead of reported missing.
+	Subset bool
+}
+
+// Comparison is the outcome of gating a run against a baseline.
+type Comparison struct {
+	Failures []Diff
+	// Matched counts metrics that were compared and fell within their
+	// tolerance band; Exhibits counts exhibits present on both sides.
+	Matched  int
+	Exhibits int
+}
+
+// OK reports whether the gate passes.
+func (c Comparison) OK() bool { return len(c.Failures) == 0 }
+
+// String renders the human-readable diff report.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline gate: %d metric(s) across %d exhibit(s) compared", c.Matched+regressions(c), c.Exhibits)
+	if c.OK() {
+		b.WriteString(" — all within tolerance\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " — %d failure(s):\n", len(c.Failures))
+	for _, d := range c.Failures {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+func regressions(c Comparison) int {
+	n := 0
+	for _, d := range c.Failures {
+		if d.Kind == KindRegression {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare gates a run (cur) against a baseline (base). Metrics present on
+// both sides are checked against the wider of the two recorded tolerance
+// bands; structural differences (exhibits or metrics on one side only)
+// fail the gate so the baseline cannot silently drift out of sync with
+// the sweep — except that with Options.Subset, baseline exhibits absent
+// from the run are ignored, since a filtered run never produces them.
+func Compare(base, cur Report, opts Options) Comparison {
+	var c Comparison
+	if base.Scale != "" && cur.Scale != "" && base.Scale != cur.Scale {
+		c.Failures = append(c.Failures, Diff{Kind: KindScaleMismatch, Exhibit: base.Scale, Metric: cur.Scale})
+		return c
+	}
+	curIdx := make(map[string]Record, len(cur.Records))
+	for _, r := range cur.Records {
+		curIdx[r.Exhibit] = r
+	}
+	baseIdx := make(map[string]Record, len(base.Records))
+	for _, r := range base.Records {
+		baseIdx[r.Exhibit] = r
+	}
+	for _, br := range base.Records {
+		cr, ok := curIdx[br.Exhibit]
+		if !ok {
+			if !opts.Subset {
+				c.Failures = append(c.Failures, Diff{Kind: KindMissingExhibit, Exhibit: br.Exhibit})
+			}
+			continue
+		}
+		c.Exhibits++
+		curMetrics := make(map[string]Metric, len(cr.Metrics))
+		for _, m := range cr.Metrics {
+			curMetrics[m.Name] = m
+		}
+		baseMetrics := make(map[string]bool, len(br.Metrics))
+		for _, bm := range br.Metrics {
+			baseMetrics[bm.Name] = true
+			cm, ok := curMetrics[bm.Name]
+			if !ok {
+				c.Failures = append(c.Failures, Diff{
+					Kind: KindMissingMetric, Exhibit: br.Exhibit, Metric: bm.Name,
+					Unit: bm.Unit, Base: bm.Value,
+				})
+				continue
+			}
+			rel := math.Max(bm.RelTol, cm.RelTol)
+			abs := math.Max(bm.AbsTol, cm.AbsTol)
+			if within(bm.Value, cm.Value, rel, abs) {
+				c.Matched++
+			} else {
+				c.Failures = append(c.Failures, Diff{
+					Kind: KindRegression, Exhibit: br.Exhibit, Metric: bm.Name,
+					Unit: firstNonEmpty(bm.Unit, cm.Unit),
+					Base: bm.Value, Cur: cm.Value, RelTol: rel, AbsTol: abs,
+				})
+			}
+		}
+		for _, m := range cr.Metrics {
+			if !baseMetrics[m.Name] {
+				c.Failures = append(c.Failures, Diff{
+					Kind: KindNewMetric, Exhibit: br.Exhibit, Metric: m.Name,
+					Unit: m.Unit, Cur: m.Value,
+				})
+			}
+		}
+	}
+	for _, r := range cur.Records {
+		if _, ok := baseIdx[r.Exhibit]; !ok {
+			c.Failures = append(c.Failures, Diff{Kind: KindNewExhibit, Exhibit: r.Exhibit})
+		}
+	}
+	return c
+}
+
+// within implements the acceptance band |cur-base| <= rel*max(|base|,|cur|)+abs.
+// With both tolerances zero this degenerates to exact (bitwise for
+// non-NaN) equality. Two NaNs compare equal; one NaN never passes.
+func within(base, cur, rel, abs float64) bool {
+	if math.IsNaN(base) || math.IsNaN(cur) {
+		return math.IsNaN(base) && math.IsNaN(cur)
+	}
+	return math.Abs(cur-base) <= rel*math.Max(math.Abs(base), math.Abs(cur))+abs
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package results
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a report as a GitHub-flavored per-exhibit metric
+// table, the form EXPERIMENTS.md records sweeps in. headline selects and
+// orders the metrics shown per exhibit (see experiments.Headlines); an
+// exhibit with no headline entry is rendered with all of its metrics in
+// recorded order. Exhibits appear in report order.
+func Markdown(rep Report, headline map[string][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| exhibit | metric | value | unit |\n")
+	fmt.Fprintf(&b, "| ------- | ------ | ----- | ---- |\n")
+	for _, r := range rep.Records {
+		names := headline[r.Exhibit]
+		if names == nil {
+			for _, m := range r.Metrics {
+				names = append(names, m.Name)
+			}
+		}
+		for _, name := range names {
+			m, ok := r.Metric(name)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				r.Exhibit, m.Name, FormatValue(m.Value), m.Unit)
+		}
+	}
+	return b.String()
+}
+
+// FormatValue renders a metric value compactly for tables: up to four
+// significant digits, no exponent notation in the common magnitudes.
+func FormatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
