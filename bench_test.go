@@ -165,6 +165,18 @@ func BenchmarkDiurnal64Cluster(b *testing.B) {
 	})
 }
 
+// BenchmarkFairnessMultiTenant regenerates the fairness extension
+// exhibit: three tenants behind the quota+SLO serving front end
+// (internal/admit) on one contended cluster, Pollux vs
+// Tiresias+TunedJobs.
+func BenchmarkFairnessMultiTenant(b *testing.B) {
+	runExperiment(b, "fairness", map[string]string{
+		"Pollux/prod/avgJCT":             "pollux-prod-avgJCT-s",
+		"Tiresias+TunedJobs/prod/avgJCT": "tiresias-prod-avgJCT-s",
+		"Pollux/batch/rejected":          "batch-rejected-jobs",
+	})
+}
+
 // BenchmarkValidateEfficiencyOnRealSGD is an extension exhibit: the
 // Eqn. 7 efficiency model checked against real data-parallel SGD runs
 // (internal/train) rather than the scripted model zoo.

@@ -6,11 +6,20 @@
 //	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick|replay]
 //	           [-jobs 160] [-hours 8] [-nodes 16] [-gpus 4] [-seed 1]
 //	           [-scale quick|full] [-user] [-interference 0.5]
+//	           [-tenants prod:12:2,batch:20] [-admission quota]
+//	           [-quota batch=10] [-priority slo]
 //
 // -scale presets the cluster shape (-jobs/-hours/-nodes/-gpus/-tick) from
 // the shared quick/full experiment scales (internal/cliutil), so a single
 // simulation matches what pollux-bench sweeps; explicitly-set shape flags
 // win over the preset.
+//
+// -tenants generates a multi-tenant trace (overriding -jobs), and the
+// -admission/-priority/-quota/-bucket-* flags install the serving front
+// end (internal/admit) ahead of the scheduler. The front end runs
+// identically under every engine, including replay — admission decisions
+// are a pure function of the trace — and multi-tenant runs print a
+// per-tenant breakdown after the summary.
 //
 // The replay engine feeds the trace through the live-testbed control
 // path (internal/cluster: Service, agent reports, scheduling rounds) on
@@ -54,7 +63,24 @@ func main() {
 	events := flag.Int("events", 0, "print the last N scheduling events")
 	var sweep cliutil.Sweep
 	sweep.Register(flag.CommandLine, "", false) // -scale preset + -refitworkers
+	var fe cliutil.FrontEnd
+	fe.Register(flag.CommandLine)
 	flag.Parse()
+
+	feOpts, err := fe.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tenants, err := fe.TenantSpecs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *traceFile != "" && tenants != nil {
+		fmt.Fprintln(os.Stderr, "-tenants shapes a generated trace; it cannot be combined with -trace")
+		os.Exit(2)
+	}
 
 	if sweep.ScaleName != "" {
 		sc, err := sweep.Scale()
@@ -102,7 +128,9 @@ func main() {
 		trace = workload.Generate(rng, workload.Options{
 			Jobs: *jobs, Hours: *hours,
 			GPUsPerNode: *gpus, MaxGPUs: *nodes * *gpus,
+			Tenants: tenants,
 		})
+		*jobs = len(trace.Jobs)
 		if err := trace.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
 			os.Exit(1)
@@ -147,6 +175,7 @@ func main() {
 		rep, err := cluster.Replay(trace, p, cluster.ReplayConfig{
 			Nodes: *nodes, GPUsPerNode: *gpus,
 			UseTunedConfig: !*user, Seed: *seed, OverRPC: *overRPC,
+			FrontEnd: feOpts,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "replay:", err)
@@ -165,6 +194,7 @@ func main() {
 				fmt.Sprintf("%.0f ex/s", rep.AvgGoodput),
 			}},
 		))
+		printTenants(rep.PerTenant)
 		return
 	}
 
@@ -174,6 +204,7 @@ func main() {
 		InterferenceSlowdown: *interference,
 		Seed:                 *seed,
 		LogEvents:            *events > 0,
+		FrontEnd:             feOpts,
 	}
 	sweep.ApplyConfig(&cfg)
 	res := sim.NewCluster(trace, p, cfg).Run()
@@ -194,6 +225,7 @@ func main() {
 	))
 	fmt.Println()
 	fmt.Print(metrics.Table([]string{"model", "done", "avg JCT", "p99 JCT"}, perModelRows(res)))
+	printTenants(res.PerTenant)
 
 	if *events > 0 {
 		start := len(res.Events) - *events
@@ -227,6 +259,37 @@ func perModelRows(res sim.Result) [][]string {
 		})
 	}
 	return rows
+}
+
+// printTenants renders the per-tenant breakdown of a multi-tenant run
+// (a no-op for single-tenant traces).
+func printTenants(per map[string]metrics.TenantSummary) {
+	if len(per) == 0 {
+		return
+	}
+	names := make([]string, 0, len(per))
+	for name := range per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([][]string, 0, len(names))
+	for _, name := range names {
+		ts := per[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d/%d", ts.Admitted, ts.Submitted),
+			fmt.Sprintf("%d", ts.Rejected),
+			fmt.Sprintf("%d/%d", ts.Summary.Completed, ts.Summary.Total),
+			metrics.Hours(ts.Summary.AvgJCT),
+			fmt.Sprintf("%.0f ex/s", ts.AvgGoodput),
+			fmt.Sprintf("%.1f", ts.AvgQueueDepth),
+			fmt.Sprintf("%d/%d", ts.SLOMet, ts.SLOJobs),
+		})
+	}
+	fmt.Println()
+	fmt.Print(metrics.Table(
+		[]string{"tenant", "admitted", "rejected", "done", "avg JCT", "goodput", "queue", "SLO met"},
+		rows))
 }
 
 func configName(user bool) string {

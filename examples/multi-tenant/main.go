@@ -1,0 +1,104 @@
+// Multi-tenant serving: admission, priority, and SLO policies ahead of
+// the scheduler.
+//
+// Three tenants share one contended cluster. "prod" carries a tight SLO
+// and no quota; "batch" submits heavily under a quota that rejects its
+// overflow; "burst" spikes all of its jobs into the first hour against a
+// tiny quota. The serving front end (internal/admit) runs per-tenant
+// quota admission at arrival time and earliest-deadline-first priority
+// at every scheduling round, ahead of the Pollux policy — the same seam
+// the live-testbed replay path uses, so the admission decisions printed
+// here are bit-identical to a replay of the same trace.
+//
+// Run with: go run ./examples/multi-tenant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/admit"
+	"repro/internal/cliutil"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var sweep cliutil.Sweep
+	sweep.Register(flag.CommandLine, "", false)
+	flag.Parse()
+
+	const (
+		hours = 2.0
+		nodes = 8
+		gpus  = 4
+		seed  = 7
+	)
+	rng := rand.New(rand.NewSource(seed))
+	trace := workload.Generate(rng, workload.Options{
+		Hours: hours, GPUsPerNode: gpus, MaxGPUs: nodes * gpus,
+		Tenants: []workload.TenantSpec{
+			{Name: "prod", Jobs: 12, SLOHours: 2},
+			{Name: "batch", Jobs: 16},
+			{Name: "burst", Jobs: 6, SLOHours: 1, Cycle: []float64{1, 0}},
+		},
+	})
+	fmt.Printf("workload: %d jobs over %.0fh on %d nodes x %d GPUs, tenants %v\n\n",
+		len(trace.Jobs), hours, nodes, gpus, trace.Tenants())
+
+	cfg := sim.Config{
+		Nodes: nodes, GPUsPerNode: gpus, Tick: 2,
+		UseTunedConfig: true, Seed: seed,
+		FrontEnd: &admit.Options{
+			Admission: admit.AdmitQuota,
+			Quotas:    map[string]int{"batch": 8, "burst": 2},
+			Priority:  admit.PrioritySLO,
+		},
+	}
+	sweep.ApplyConfig(&cfg)
+	policy := sched.NewPollux(sched.PolluxOptions{Population: 30, Generations: 15}, seed)
+	res := sim.NewCluster(trace, policy, cfg).Run()
+
+	fmt.Println("rejections (quota admission, in arrival order):")
+	for _, d := range res.Admissions {
+		if !d.Admitted {
+			fmt.Printf("  t=%5.0fs job=%d %s\n", d.Request.Time, d.Request.Job, d.Reason)
+		}
+	}
+	fmt.Println()
+
+	names := make([]string, 0, len(res.PerTenant))
+	for name := range res.PerTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, name := range names {
+		ts := res.PerTenant[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d/%d", ts.Admitted, ts.Submitted),
+			fmt.Sprintf("%d", ts.Rejected),
+			fmt.Sprintf("%d/%d", ts.Summary.Completed, ts.Summary.Total),
+			metrics.Hours(ts.Summary.AvgJCT),
+			fmt.Sprintf("%.0f ex/s", ts.AvgGoodput),
+			fmt.Sprintf("%.1f", ts.AvgQueueDepth),
+			fmt.Sprintf("%d/%d", ts.SLOMet, ts.SLOJobs),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"tenant", "admitted", "rejected", "done", "avg JCT", "goodput", "queue", "SLO met"},
+		rows))
+
+	if len(res.Admissions) != len(trace.Jobs) {
+		fmt.Fprintln(os.Stderr, "admission log does not cover the trace")
+		os.Exit(1)
+	}
+	fmt.Println("\nprod is never rejected and its deadline ordering front-loads its jobs;")
+	fmt.Println("batch and burst pay for their quota overflow at admission, not in the queue.")
+}

@@ -7,12 +7,20 @@
 // are printed side by side.
 //
 // Run with: go run ./examples/scheduler-comparison
+//
+// The default shape (40 jobs over 2 h on 8 nodes) finishes in seconds;
+// pass -scale quick or -scale full to run the shared experiment presets
+// instead (internal/cliutil), and -refitworkers to bound refit
+// concurrency. Results are identical at any worker count.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -20,13 +28,23 @@ import (
 )
 
 func main() {
-	const (
-		jobs  = 40
-		hours = 2.0
-		nodes = 8
-		gpus  = 4
-		seed  = 7
-	)
+	var sweep cliutil.Sweep
+	sweep.Register(flag.CommandLine, "", false)
+	flag.Parse()
+
+	// The example's own shape, overridden by -scale when given.
+	jobs, hours, nodes, gpus, tick := 40, 2.0, 8, 4, 2.0
+	pop, gens := 30, 15
+	if sweep.ScaleName != "" {
+		sc, err := sweep.Scale()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		jobs, hours, nodes, gpus, tick = sc.Jobs, sc.Hours, sc.Nodes, sc.GPUsPerNode, sc.Tick
+		pop, gens = sc.PolluxPop, sc.PolluxGens
+	}
+	const seed = 7
 
 	rng := rand.New(rand.NewSource(seed))
 	trace := workload.Generate(rng, workload.Options{
@@ -39,7 +57,7 @@ func main() {
 		label string
 		p     sched.Policy
 	}{
-		{"Pollux", sched.NewPollux(sched.PolluxOptions{Population: 30, Generations: 15}, seed)},
+		{"Pollux", sched.NewPollux(sched.PolluxOptions{Population: pop, Generations: gens}, seed)},
 		{"Optimus+Oracle", sched.NewOptimus(gpus)},
 		{"Tiresias+TunedJobs", sched.NewTiresias()},
 	}
@@ -48,9 +66,10 @@ func main() {
 	var polluxJCT float64
 	for _, pol := range policies {
 		cfg := sim.Config{
-			Nodes: nodes, GPUsPerNode: gpus, Tick: 2,
+			Nodes: nodes, GPUsPerNode: gpus, Tick: tick,
 			UseTunedConfig: true, Seed: seed,
 		}
+		sweep.ApplyConfig(&cfg)
 		res := sim.NewCluster(trace, pol.p, cfg).Run()
 		s := res.Summary
 		if pol.label == "Pollux" {

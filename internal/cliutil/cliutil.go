@@ -7,9 +7,14 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
+	"strconv"
+	"strings"
 
+	"repro/internal/admit"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Sweep holds the shared knobs. Register it on a FlagSet, Parse, then
@@ -67,4 +72,96 @@ func (s Sweep) ApplyConfig(cfg *sim.Config) {
 	if s.RefitWorkers > 0 {
 		cfg.RefitWorkers = s.RefitWorkers
 	}
+}
+
+// FrontEnd holds the multi-tenant serving front-end knobs shared by
+// pollux-sim and the multi-tenant example: which admission and priority
+// policies to run ahead of the scheduler (internal/admit) and,
+// optionally, a tenant mix for the generated trace.
+type FrontEnd struct {
+	Admission      string
+	Priority       string
+	Quotas         string
+	DefaultQuota   int
+	BucketCapacity float64
+	BucketRefill   float64
+	Tenants        string
+}
+
+// Register declares the front-end flags.
+func (f *FrontEnd) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Admission, "admission", "",
+		"admission policy ahead of the scheduler: always, token-bucket, or quota (empty: no front end unless -priority is set)")
+	fs.StringVar(&f.Priority, "priority", "",
+		"scheduling-snapshot priority: constant (submission order) or slo (earliest deadline first)")
+	fs.StringVar(&f.Quotas, "quota", "",
+		`per-tenant admission quotas for -admission quota, e.g. "batch=10,burst=2" (an explicit 0 rejects everything)`)
+	fs.IntVar(&f.DefaultQuota, "default-quota", 0,
+		"quota for tenants not listed in -quota (0 = unlimited, negative = explicit zero)")
+	fs.Float64Var(&f.BucketCapacity, "bucket-capacity", 0,
+		"token-bucket burst capacity in jobs (0 = default, negative = explicit zero)")
+	fs.Float64Var(&f.BucketRefill, "bucket-refill", 0,
+		"token-bucket refill rate in admissions per second (0 = default, negative = explicit zero)")
+	fs.StringVar(&f.Tenants, "tenants", "",
+		`multi-tenant trace spec "name:jobs[:sloHours]", comma-separated, e.g. "prod:12:2,batch:20" (overrides -jobs)`)
+}
+
+// Options builds the admit front-end options from the flags, or nil when
+// no front-end flag was given (the zero-cost single-tenant path).
+func (f FrontEnd) Options() (*admit.Options, error) {
+	if f.Admission == "" && f.Priority == "" && f.Quotas == "" &&
+		f.DefaultQuota == 0 && f.BucketCapacity == 0 && f.BucketRefill == 0 {
+		return nil, nil
+	}
+	opts := &admit.Options{
+		Admission:      f.Admission,
+		Priority:       f.Priority,
+		BucketCapacity: f.BucketCapacity,
+		BucketRefill:   f.BucketRefill,
+		DefaultQuota:   f.DefaultQuota,
+	}
+	if f.Quotas != "" {
+		opts.Quotas = make(map[string]int)
+		for _, part := range strings.Split(f.Quotas, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("cliutil: -quota entry %q is not tenant=N", part)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("cliutil: -quota %s: %v", name, err)
+			}
+			opts.Quotas[name] = n
+		}
+	}
+	return opts, nil
+}
+
+// TenantSpecs parses the -tenants flag into workload tenant specs (nil
+// when the flag is empty).
+func (f FrontEnd) TenantSpecs() ([]workload.TenantSpec, error) {
+	if f.Tenants == "" {
+		return nil, nil
+	}
+	var specs []workload.TenantSpec
+	for _, part := range strings.Split(f.Tenants, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+			return nil, fmt.Errorf("cliutil: -tenants entry %q is not name:jobs[:sloHours]", part)
+		}
+		jobs, err := strconv.Atoi(fields[1])
+		if err != nil || jobs <= 0 {
+			return nil, fmt.Errorf("cliutil: -tenants %s: bad job count %q", fields[0], fields[1])
+		}
+		spec := workload.TenantSpec{Name: fields[0], Jobs: jobs}
+		if len(fields) == 3 {
+			slo, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || slo < 0 {
+				return nil, fmt.Errorf("cliutil: -tenants %s: bad SLO hours %q", fields[0], fields[2])
+			}
+			spec.SLOHours = slo
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }

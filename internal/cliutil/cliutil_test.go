@@ -59,3 +59,69 @@ func TestApplyConfig(t *testing.T) {
 		t.Errorf("overrides not applied: %+v", cfg)
 	}
 }
+
+func TestFrontEndFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var fe FrontEnd
+	fe.Register(fs)
+	err := fs.Parse([]string{
+		"-admission", "quota", "-priority", "slo",
+		"-quota", "batch=10, burst=2", "-default-quota", "-1",
+		"-tenants", "prod:12:2,batch:20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := fe.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Admission != "quota" || opts.Priority != "slo" || opts.DefaultQuota != -1 {
+		t.Errorf("options wrong: %+v", opts)
+	}
+	if opts.Quotas["batch"] != 10 || opts.Quotas["burst"] != 2 {
+		t.Errorf("quotas wrong: %+v", opts.Quotas)
+	}
+	specs, err := fe.TenantSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "prod" || specs[0].Jobs != 12 ||
+		specs[0].SLOHours != 2 || specs[1].Name != "batch" || specs[1].SLOHours != 0 {
+		t.Errorf("tenant specs wrong: %+v", specs)
+	}
+}
+
+func TestFrontEndZero(t *testing.T) {
+	opts, err := FrontEnd{}.Options()
+	if err != nil || opts != nil {
+		t.Errorf("zero front end should build nil options, got %+v, %v", opts, err)
+	}
+	specs, err := FrontEnd{}.TenantSpecs()
+	if err != nil || specs != nil {
+		t.Errorf("zero front end should build nil tenant specs, got %+v, %v", specs, err)
+	}
+}
+
+func TestFrontEndParseErrors(t *testing.T) {
+	for _, fe := range []FrontEnd{
+		{Quotas: "batch"},
+		{Quotas: "batch=x"},
+		{Quotas: "=3"},
+	} {
+		if _, err := fe.Options(); err == nil {
+			t.Errorf("Options() accepted %+v", fe)
+		}
+	}
+	for _, fe := range []FrontEnd{
+		{Tenants: "prod"},
+		{Tenants: "prod:0"},
+		{Tenants: ":3"},
+		{Tenants: "prod:3:x"},
+		{Tenants: "prod:3:2:1"},
+	} {
+		if _, err := fe.TenantSpecs(); err == nil {
+			t.Errorf("TenantSpecs() accepted %+v", fe)
+		}
+	}
+}

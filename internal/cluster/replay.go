@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/admit"
 	"repro/internal/eventsim"
 	"repro/internal/metrics"
 	"repro/internal/models"
@@ -51,6 +52,11 @@ type ReplayConfig struct {
 	// UseTunedConfig selects each job's tuned rather than user
 	// configuration for the baseline schedulers, as sim.Config does.
 	UseTunedConfig bool
+	// FrontEnd configures the multi-tenant serving front end (admission +
+	// priority, internal/admit) installed on the Service; nil disables
+	// it. The same options given to sim.Config.FrontEnd produce
+	// bit-identical admission decisions here (see the parity test).
+	FrontEnd *admit.Options
 	// OverRPC drives every trainer's reports and allocation polls
 	// through a real net/rpc connection on a loopback socket instead of
 	// in-process Service calls. Calls are synchronous round trips from
@@ -90,13 +96,20 @@ type ReplayResult struct {
 	// job-running time.
 	AvgThroughput float64
 	AvgGoodput    float64
+	// PerTenant breaks the run down by tenant for multi-tenant traces
+	// (nil for single-tenant runs); Admissions is the front end's
+	// decision log in arrival order (nil without a front end) — shaped
+	// like the simulator's fields so parity asserts compare directly.
+	PerTenant  map[string]metrics.TenantSummary
+	Admissions []admit.Decision
 }
 
 // replayTask pairs a trace job with its live trainer.
 type replayTask struct {
-	wj     workload.Job
-	tr     *Trainer
-	finish float64
+	wj       workload.Job
+	tr       *Trainer
+	finish   float64
+	rejected bool
 }
 
 // Replay runs the trace through the live-testbed control path on virtual
@@ -109,6 +122,11 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 	}
 	state := NewState(capacity)
 	svc := NewService(state)
+	fe, err := admit.New(cfg.FrontEnd)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	svc.SetFrontEnd(fe)
 
 	var transport Transport = Local{Svc: svc}
 	if cfg.OverRPC {
@@ -148,6 +166,7 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 			Seed:        cfg.Seed + int64(wj.ID),
 			ReportEvery: cfg.ReportEvery, RestartDelay: cfg.RestartDelay,
 			UserGPUs: gpus, UserBatch: batch,
+			Tenant: wj.Tenant, Deadline: wj.Deadline,
 		}}
 		if !adaptive {
 			t.tr.FixedBatch = batch
@@ -178,6 +197,17 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 
 		case kindArrive:
 			t := byID[e.Job]
+			// Arrivals pop in submit-time order with ties in ascending
+			// job-ID order — the same sequence the simulator presents —
+			// and the request carries the trace's submit time, so
+			// admission decisions are bit-identical across deployments.
+			// A rejected job's trainer never comes up.
+			gpus := t.tr.UserGPUs
+			if !svc.AdmitJob(admit.Request{Job: e.Job, Tenant: t.wj.Tenant, Time: t.wj.Submit, GPUs: gpus}) {
+				t.rejected = true
+				done++
+				return done < len(tasks)
+			}
 			if err := t.tr.begin(transport, e.Time); err != nil {
 				runErr = err
 				return false
@@ -210,13 +240,50 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 
 	var res ReplayResult
 	var tputSum, goodSum, runSum float64
+	type tenantAccum struct{ goodSum, runTime float64 }
+	tenantRates := make(map[string]*tenantAccum)
 	for _, t := range tasks {
-		res.Records = append(res.Records, metrics.JobRecord{Submit: t.wj.Submit, Finish: t.finish})
+		res.Records = append(res.Records, metrics.JobRecord{
+			Submit:   t.wj.Submit,
+			Finish:   t.finish,
+			Tenant:   t.wj.Tenant,
+			Deadline: t.wj.Deadline,
+			Rejected: t.rejected,
+		})
 		tputSum += t.tr.tputSum
 		goodSum += t.tr.goodSum
 		runSum += t.tr.runTime
+		if t.wj.Tenant != "" {
+			ta := tenantRates[t.wj.Tenant]
+			if ta == nil {
+				ta = &tenantAccum{}
+				tenantRates[t.wj.Tenant] = ta
+			}
+			ta.goodSum += t.tr.goodSum
+			ta.runTime += t.tr.runTime
+		}
 	}
 	res.Summary = metrics.Summarize(res.Records)
+	res.PerTenant = metrics.SummarizeTenants(res.Records)
+	feStats := fe.Stats()
+	for tenant, ts := range res.PerTenant {
+		if st, ok := feStats[tenant]; ok {
+			ts.Submitted = st.Submitted
+			ts.Admitted = st.Admitted
+			ts.Rejected = st.Rejected
+			if rounds := fe.Rounds(); rounds > 0 {
+				ts.AvgQueueDepth = st.QueueDepthSum / float64(rounds)
+			}
+		} else {
+			ts.Submitted = ts.Summary.Total
+			ts.Admitted = ts.Summary.Total
+		}
+		if ta := tenantRates[tenant]; ta != nil && ta.runTime > 0 {
+			ts.AvgGoodput = ta.goodSum / ta.runTime
+		}
+		res.PerTenant[tenant] = ts
+	}
+	res.Admissions = fe.Decisions()
 	if runSum > 0 {
 		res.AvgThroughput = tputSum / runSum
 		res.AvgGoodput = goodSum / runSum

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -159,5 +160,97 @@ func TestReplayVsSimParity(t *testing.T) {
 					100*d, simRes.AvgGoodput, repRes.AvgGoodput)
 			}
 		})
+	}
+}
+
+// tenantTrace generates a small multi-tenant trace (fast models only) for
+// the admission parity tests.
+func tenantTrace(seed int64) workload.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := workload.Generate(rng, workload.Options{
+		Hours: 0.5,
+		Tenants: []workload.TenantSpec{
+			{Name: "prod", Jobs: 8, SLOHours: 2},
+			{Name: "batch", Jobs: 10},
+			{Name: "burst", Jobs: 6, SLOHours: 1},
+		},
+	})
+	out := workload.Trace{Duration: tr.Duration}
+	for _, j := range tr.Jobs {
+		if j.Model == "resnet18" || j.Model == "neumf" {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+// TestAdmissionParitySimVsReplay is the cross-deployment admission
+// parity gate: the same tenant trace, run through the simulator's event
+// engine, its tick engine, and the live-testbed replay path, must produce
+// IDENTICAL admission decision logs (job, tenant, time, verdict, reason,
+// in arrival order) and per-tenant admit/reject counts. Admission is a
+// pure function of the trace, never of the engine's clock.
+func TestAdmissionParitySimVsReplay(t *testing.T) {
+	tr := tenantTrace(11)
+	if len(tr.Jobs) < 8 {
+		t.Skip("trace too small after filtering")
+	}
+	feOpts := func() *admit.Options {
+		return &admit.Options{
+			Admission: admit.AdmitQuota,
+			Quotas:    map[string]int{"batch": 4, "burst": 2},
+			Priority:  admit.PrioritySLO,
+		}
+	}
+
+	simCfg := sim.Config{
+		Nodes: 4, GPUsPerNode: 4, Tick: 2, UseTunedConfig: true,
+		MaxTime: 12 * 3600, Seed: 11, FrontEnd: feOpts(),
+	}
+	eventRes := sim.NewCluster(tr, sched.NewTiresias(), simCfg).Run()
+	tickCfg := simCfg
+	tickCfg.Engine = sim.EngineTick
+	tickCfg.FrontEnd = feOpts()
+	tickRes := sim.NewCluster(tr, sched.NewTiresias(), tickCfg).Run()
+
+	repCfg := smallReplayCfg(11)
+	repCfg.FrontEnd = feOpts()
+	repRes, err := Replay(tr, sched.NewTiresias(), repCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(eventRes.Admissions) != len(tr.Jobs) {
+		t.Fatalf("event engine logged %d decisions for %d jobs", len(eventRes.Admissions), len(tr.Jobs))
+	}
+	if !reflect.DeepEqual(eventRes.Admissions, tickRes.Admissions) {
+		t.Errorf("event vs tick admission logs differ:\n%v\nvs\n%v",
+			eventRes.Admissions, tickRes.Admissions)
+	}
+	if !reflect.DeepEqual(eventRes.Admissions, repRes.Admissions) {
+		t.Errorf("sim vs replay admission logs differ:\n%v\nvs\n%v",
+			eventRes.Admissions, repRes.Admissions)
+	}
+
+	rejected := 0
+	for _, d := range eventRes.Admissions {
+		if !d.Admitted {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("parity trace triggered no rejections; quota too loose to exercise admission")
+	}
+	for tenant, sts := range eventRes.PerTenant {
+		rts, ok := repRes.PerTenant[tenant]
+		if !ok {
+			t.Errorf("tenant %s missing from replay results", tenant)
+			continue
+		}
+		if sts.Submitted != rts.Submitted || sts.Admitted != rts.Admitted || sts.Rejected != rts.Rejected {
+			t.Errorf("tenant %s counters diverge: sim %d/%d/%d vs replay %d/%d/%d",
+				tenant, sts.Submitted, sts.Admitted, sts.Rejected,
+				rts.Submitted, rts.Admitted, rts.Rejected)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/rpc"
 	"sync"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/eventsim"
 	"repro/internal/ga"
@@ -35,7 +36,12 @@ type Report struct {
 	UserGPUs       int
 	UserBatch      int
 	RemainingIters float64
-	Done           bool
+	// Tenant and Deadline carry the job's multi-tenant identity and
+	// absolute SLO deadline (0 = none) for the admit front end's priority
+	// stage and per-tenant accounting.
+	Tenant   string
+	Deadline float64
+	Done     bool
 }
 
 // Allocation is the scheduler's reply to a poll: the job's current
@@ -62,6 +68,12 @@ type Service struct {
 	// roundJobs is the job snapshot of the scheduling round in flight,
 	// set by Round and consumed by Commit (see runtime.Step).
 	roundJobs []string
+
+	// fe is the admit front end (nil = admit everything, snapshot order).
+	// It is guarded by schedMu: admission decisions and scheduling rounds
+	// serialize, so the decision log is a deterministic function of the
+	// arrival order.
+	fe *admit.FrontEnd
 }
 
 // NewService wraps cluster state in an RPC service.
@@ -72,6 +84,32 @@ func NewService(state *State) *Service {
 		allocs:  make(map[string]Allocation),
 		ids:     make(map[string]int),
 	}
+}
+
+// SetFrontEnd installs the admit front end ahead of any traffic. The
+// service shares one FrontEnd with its deployment (replay loop or live
+// daemon) so admission decisions and scheduling both see it.
+func (s *Service) SetFrontEnd(fe *admit.FrontEnd) {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	s.fe = fe
+}
+
+// FrontEnd returns the installed admit front end (nil when none).
+func (s *Service) FrontEnd() *admit.FrontEnd {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	return s.fe
+}
+
+// AdmitJob runs one arrival through the admission stage. It holds the
+// scheduling lock, so a decision never interleaves with a round in
+// flight. Callers must present each job exactly once, in nondecreasing
+// submit-time order, before the job's first report.
+func (s *Service) AdmitJob(r admit.Request) bool {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	return s.fe.Arrive(r)
 }
 
 // SubmitReport receives an agent report. Reply is unused.
@@ -116,7 +154,7 @@ func (s *Service) GetAllocation(job string, reply *Allocation) error {
 func (s *Service) ScheduleOnce(policy sched.Policy, now float64) (int, error) {
 	s.schedMu.Lock()
 	defer s.schedMu.Unlock()
-	return runtime.Step(s, policy, now)
+	return runtime.Step(s, s.fe, policy, now)
 }
 
 // Round snapshots the scheduler inputs for runtime.Step: every reported,
@@ -140,8 +178,10 @@ func (s *Service) Round(now float64) *sched.ClusterView {
 			minGPUs = (r.UserBatch + r.MaxBatchPerGPU - 1) / r.MaxBatchPerGPU
 		}
 		view.Jobs = append(view.Jobs, sched.JobView{
-			ID:     s.ids[name],
-			Submit: r.Submit,
+			ID:       s.ids[name],
+			Submit:   r.Submit,
+			Tenant:   r.Tenant,
+			Deadline: r.Deadline,
 			Model: core.Model{
 				Params:         core.ParamsFromVector(r.Params[:]),
 				Phi:            r.Phi,

@@ -82,6 +82,11 @@ type Trainer struct {
 	// Pollux, which ignores them.
 	UserGPUs  int
 	UserBatch int
+	// Tenant and Deadline carry the job's multi-tenant identity and
+	// absolute SLO deadline into every report (zero values for
+	// single-tenant jobs).
+	Tenant   string
+	Deadline float64
 
 	mu       sync.Mutex
 	progress float64
@@ -193,6 +198,7 @@ func (t *Trainer) report(done bool) error {
 		MaxBatchGlobal: model.MaxBatchGlobal,
 		GPUCap:         t.ag.GPUCap(), GPUTime: gpuTime,
 		UserGPUs: t.UserGPUs, UserBatch: t.UserBatch, RemainingIters: remIters,
+		Tenant: t.Tenant, Deadline: t.Deadline,
 		Submit: t.submit, Done: done,
 	})
 }

@@ -208,6 +208,8 @@ var headlines = map[string][]string{
 	"fig10":  {"costRatio", "timeRatio", "pollux/avgEff", "oretal/avgEff"},
 	"diurnal64": {"Pollux/avgJCT", "Tiresias+TunedJobs/avgJCT", "Pollux/p99JCT", "Tiresias+TunedJobs/p99JCT",
 		"Pollux/goodput", "Tiresias+TunedJobs/goodput", "Pollux/completed", "Tiresias+TunedJobs/completed"},
+	"fairness": {"Pollux/prod/avgJCT", "Tiresias+TunedJobs/prod/avgJCT", "Pollux/prod/sloMet",
+		"Pollux/batch/rejected", "Pollux/burst/rejected", "Pollux/prod/queueDepth"},
 	"replayparity": {"Pollux/dJCT", "Pollux/dGoodput", "Optimus+Oracle/dJCT", "Tiresias+TunedJobs/dJCT"},
 	"validate":     {"worstOff"},
 }
@@ -227,7 +229,7 @@ func All() []string {
 	return []string{
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6",
 		"table2", "fig7", "fig8", "table3", "fig9", "fig10",
-		"diurnal64", "replayparity", "validate",
+		"diurnal64", "fairness", "replayparity", "validate",
 	}
 }
 
@@ -260,6 +262,8 @@ func Run(id string, sc Scale) (Outcome, error) {
 		return Fig10(sc), nil
 	case "diurnal64":
 		return Diurnal64(sc), nil
+	case "fairness":
+		return Fairness(sc), nil
 	case "replayparity":
 		return ReplayParity(sc)
 	case "validate":

@@ -122,8 +122,8 @@ func TestRunDispatch(t *testing.T) {
 
 func TestAllListsEveryExperiment(t *testing.T) {
 	ids := All()
-	if len(ids) != 15 {
-		t.Fatalf("All() = %d experiments, want 15 (12 paper exhibits + diurnal64 + replayparity + validate)", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("All() = %d experiments, want 16 (12 paper exhibits + diurnal64 + fairness + replayparity + validate)", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

@@ -224,3 +224,42 @@ func TestValidateEqn7OnRealSGD(t *testing.T) {
 		t.Errorf("worst discrepancy = %vx, want <= 2.5x", o.Values["worstOff"])
 	}
 }
+
+// TestFairnessShortSmoke runs the multi-tenant fairness exhibit end to
+// end at smoke scale under -short: three tenants per policy, binding
+// quotas, and the admission accounting invariants that must hold at any
+// scale (submitted = admitted + rejected, rejections exactly the quota
+// overflow, identical across policies).
+func TestFairnessShortSmoke(t *testing.T) {
+	o := Fairness(shortScale())
+	if len(o.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 policies x 3 tenants", len(o.Rows))
+	}
+	for _, policy := range []string{"Pollux", "Tiresias+TunedJobs"} {
+		for _, tenant := range []string{"prod", "batch", "burst"} {
+			key := policy + "/" + tenant
+			sub := o.Values[key+"/submitted"]
+			adm := o.Values[key+"/admitted"]
+			rej := o.Values[key+"/rejected"]
+			if sub <= 0 {
+				t.Errorf("%s: no submissions recorded", key)
+			}
+			if adm+rej != sub {
+				t.Errorf("%s: admitted %v + rejected %v != submitted %v", key, adm, rej, sub)
+			}
+			if tenant == "prod" && rej != 0 {
+				t.Errorf("prod has no quota but %s rejected %v jobs", policy, rej)
+			}
+			if tenant != "prod" && rej <= 0 {
+				t.Errorf("%s: quota should bind but nothing was rejected", key)
+			}
+			// Admission is policy-independent: same counts under both.
+			if other := o.Values["Pollux/"+tenant+"/rejected"]; rej != other {
+				t.Errorf("%s: rejected %v differs from Pollux's %v", key, rej, other)
+			}
+		}
+	}
+	if o.Values["Pollux/prod/avgJCT"] <= 0 {
+		t.Error("prod: no JCT recorded")
+	}
+}

@@ -72,6 +72,13 @@ func Mean(xs []float64) float64 {
 type JobRecord struct {
 	Submit float64
 	Finish float64 // 0 when not completed
+	// Tenant is the owning tenant for multi-tenant runs ("" otherwise);
+	// Deadline the absolute SLO deadline (0 = none). Rejected marks jobs
+	// the admission stage turned away (they count in Total but can never
+	// finish).
+	Tenant   string
+	Deadline float64
+	Rejected bool
 }
 
 // Summarize builds JCT statistics from job records. Jobs that never
@@ -124,6 +131,98 @@ func Average(runs []Summary) Summary {
 		out.AvgEfficiency += r.AvgEfficiency / n
 		out.AvgThroughputX += r.AvgThroughputX / n
 		out.AvgGoodputX += r.AvgGoodputX / n
+	}
+	return out
+}
+
+// TenantSummary is one tenant's slice of a multi-tenant run: JCT
+// statistics over the tenant's jobs plus the serving front end's
+// admission counters and time-averaged queue depth.
+type TenantSummary struct {
+	Tenant  string
+	Summary Summary
+
+	Submitted int // arrivals presented to admission
+	Admitted  int
+	Rejected  int
+
+	// AvgGoodput is the tenant's mean goodput (examples/s) over its
+	// jobs' running time.
+	AvgGoodput float64
+	// AvgQueueDepth is the tenant's mean count of admitted-but-unallocated
+	// jobs per scheduling round.
+	AvgQueueDepth float64
+	// SLOMet counts jobs that finished at or before their deadline, out
+	// of SLOJobs jobs that carried one.
+	SLOMet  int
+	SLOJobs int
+}
+
+// SummarizeTenants groups job records by tenant and computes each
+// tenant's JCT statistics and SLO attainment (admission counters and
+// queue depths are the front end's and are filled in by the caller).
+// Returns nil when no record carries a tenant.
+func SummarizeTenants(records []JobRecord) map[string]TenantSummary {
+	byTenant := make(map[string][]JobRecord)
+	for _, r := range records {
+		if r.Tenant != "" {
+			byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+		}
+	}
+	if len(byTenant) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSummary, len(byTenant))
+	for tenant, recs := range byTenant {
+		ts := TenantSummary{Tenant: tenant, Summary: Summarize(recs)}
+		for _, r := range recs {
+			if r.Deadline > 0 && !r.Rejected {
+				ts.SLOJobs++
+				if r.Finish > 0 && r.Finish <= r.Deadline {
+					ts.SLOMet++
+				}
+			}
+		}
+		out[tenant] = ts
+	}
+	return out
+}
+
+// AverageTenants element-wise averages per-tenant summaries from
+// repeated traces, mirroring Average: counts accumulate, rates and JCT
+// statistics are averaged. Tenants missing from a run contribute zeros
+// for that run (the divisor is always len(runs)).
+func AverageTenants(runs []map[string]TenantSummary) map[string]TenantSummary {
+	if len(runs) == 0 {
+		return nil
+	}
+	n := float64(len(runs))
+	perTenant := make(map[string][]Summary)
+	out := make(map[string]TenantSummary)
+	for _, run := range runs {
+		for tenant, ts := range run {
+			o := out[tenant]
+			o.Tenant = tenant
+			o.Submitted += ts.Submitted
+			o.Admitted += ts.Admitted
+			o.Rejected += ts.Rejected
+			o.AvgGoodput += ts.AvgGoodput / n
+			o.AvgQueueDepth += ts.AvgQueueDepth / n
+			o.SLOMet += ts.SLOMet
+			o.SLOJobs += ts.SLOJobs
+			out[tenant] = o
+			perTenant[tenant] = append(perTenant[tenant], ts.Summary)
+		}
+	}
+	for tenant, summaries := range perTenant {
+		// Pad with zero summaries for runs the tenant was absent from so
+		// the per-field divisor matches every other averaged metric.
+		for len(summaries) < len(runs) {
+			summaries = append(summaries, Summary{})
+		}
+		o := out[tenant]
+		o.Summary = Average(summaries)
+		out[tenant] = o
 	}
 	return out
 }

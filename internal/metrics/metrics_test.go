@@ -180,3 +180,61 @@ func TestTableAligned(t *testing.T) {
 		t.Errorf("columns not aligned:\n%s", out)
 	}
 }
+
+func TestSummarizeTenants(t *testing.T) {
+	records := []JobRecord{
+		{Tenant: "a", Submit: 0, Finish: 100, Deadline: 150},
+		{Tenant: "a", Submit: 50, Finish: 300, Deadline: 200}, // missed SLO
+		{Tenant: "a", Submit: 60, Rejected: true, Deadline: 100},
+		{Tenant: "b", Submit: 10, Finish: 110},
+	}
+	ts := SummarizeTenants(records)
+	if len(ts) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(ts))
+	}
+	a := ts["a"]
+	if a.Summary.Total != 3 || a.Summary.Completed != 2 {
+		t.Errorf("tenant a summary = %+v", a.Summary)
+	}
+	if a.SLOJobs != 2 || a.SLOMet != 1 {
+		t.Errorf("tenant a SLO = %d/%d, want 1/2 (rejected job excluded)", a.SLOMet, a.SLOJobs)
+	}
+	b := ts["b"]
+	if b.SLOJobs != 0 || b.Summary.AvgJCT != 100 {
+		t.Errorf("tenant b = %+v", b)
+	}
+	if got := SummarizeTenants([]JobRecord{{Submit: 1, Finish: 2}}); got != nil {
+		t.Errorf("tenant-less records produced %v, want nil", got)
+	}
+}
+
+func TestAverageTenants(t *testing.T) {
+	runs := []map[string]TenantSummary{
+		{
+			"a": {Tenant: "a", Summary: Summary{Completed: 2, Total: 2, AvgJCT: 100}, Submitted: 3, Admitted: 2, Rejected: 1, AvgGoodput: 10, AvgQueueDepth: 2},
+			"b": {Tenant: "b", Summary: Summary{Completed: 1, Total: 1, AvgJCT: 50}, Submitted: 1, Admitted: 1},
+		},
+		{
+			"a": {Tenant: "a", Summary: Summary{Completed: 2, Total: 2, AvgJCT: 200}, Submitted: 3, Admitted: 3, AvgGoodput: 20, AvgQueueDepth: 4},
+		},
+	}
+	avg := AverageTenants(runs)
+	a := avg["a"]
+	if a.Submitted != 6 || a.Admitted != 5 || a.Rejected != 1 {
+		t.Errorf("tenant a counters = %+v", a)
+	}
+	if got := a.Summary.AvgJCT; got != 150 {
+		t.Errorf("tenant a AvgJCT = %v, want 150", got)
+	}
+	if a.AvgGoodput != 15 || a.AvgQueueDepth != 3 {
+		t.Errorf("tenant a rates = %+v", a)
+	}
+	// Tenant b was absent from run 2: its averaged JCT divides by both runs.
+	b := avg["b"]
+	if b.Summary.AvgJCT != 25 {
+		t.Errorf("tenant b AvgJCT = %v, want 25", b.Summary.AvgJCT)
+	}
+	if AverageTenants(nil) != nil {
+		t.Error("AverageTenants(nil) != nil")
+	}
+}

@@ -14,6 +14,7 @@ package runtime
 import (
 	"fmt"
 
+	"repro/internal/admit"
 	"repro/internal/ga"
 	"repro/internal/sched"
 )
@@ -35,16 +36,22 @@ type Backend interface {
 	Commit(m ga.Matrix, changed []bool) error
 }
 
-// Step runs one scheduling round over the backend: snapshot, policy
-// optimization, matrix validation, placement diff, commit. It returns
-// the number of jobs scheduled. A malformed or oversubscribing policy
-// result aborts the round with an error before any row is applied, so a
-// failed round never leaves the backend half-committed.
-func Step(b Backend, policy sched.Policy, now float64) (int, error) {
+// Step runs one scheduling round over the backend: snapshot, front-end
+// priority ordering, policy optimization, matrix validation, placement
+// diff, commit. fe is the deployment's admit front end; nil means no
+// front end (the snapshot order reaches the policy untouched). It
+// returns the number of jobs scheduled. A malformed or oversubscribing
+// policy result aborts the round with an error before any row is
+// applied, so a failed round never leaves the backend half-committed.
+func Step(b Backend, fe *admit.FrontEnd, policy sched.Policy, now float64) (int, error) {
 	view := b.Round(now)
 	if len(view.Jobs) == 0 {
 		return 0, nil
 	}
+	// The priority stage permutes the snapshot the policy sees; the
+	// matrix is un-permuted before commit so backends always receive rows
+	// in their own Round order.
+	perm := fe.Order(view)
 	m := policy.Schedule(view)
 	if len(m) != len(view.Jobs) {
 		return 0, fmt.Errorf("runtime: policy %s returned %d rows for %d jobs",
@@ -53,6 +60,23 @@ func Step(b Backend, policy sched.Policy, now float64) (int, error) {
 	if err := CheckCapacity(view.Capacity, m); err != nil {
 		return 0, fmt.Errorf("runtime: policy %s: %w", policy.Name(), err)
 	}
+	if perm != nil {
+		orig := make(ga.Matrix, len(m))
+		for i, p := range perm {
+			orig[p] = m[i]
+		}
+		m = orig
+		// view.Current rows were permuted alongside view.Jobs; restore
+		// the backend's row order for the placement diff below.
+		current := make(ga.Matrix, len(view.Current))
+		jobs := make([]sched.JobView, len(view.Jobs))
+		for i, p := range perm {
+			current[p] = view.Current[i]
+			jobs[p] = view.Jobs[i]
+		}
+		view.Current = current
+		view.Jobs = jobs
+	}
 	changed := make([]bool, len(m))
 	for i := range m {
 		changed[i] = !EqualRow(view.Current[i], m[i])
@@ -60,6 +84,7 @@ func Step(b Backend, policy sched.Policy, now float64) (int, error) {
 	if err := b.Commit(m, changed); err != nil {
 		return 0, err
 	}
+	fe.ObserveRound(view, m)
 	return len(view.Jobs), nil
 }
 

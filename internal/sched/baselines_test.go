@@ -63,16 +63,27 @@ func TestTiresiasPrioritizesLowAttainedService(t *testing.T) {
 	}
 }
 
-func TestTiresiasFIFOWithinQueue(t *testing.T) {
+func TestTiresiasSnapshotOrderWithinQueue(t *testing.T) {
+	// Within a queue the snapshot order decides. Deployments present
+	// snapshots in submission order (so this is FIFO by default), and an
+	// admit front end can reorder the snapshot to impose its own priority.
 	v := viewWith(2, 1, 4) // only 4 GPUs
 	v.Jobs[0].UserGPUs = 4
-	v.Jobs[0].Submit = 100
+	v.Jobs[0].Submit = 50
 	v.Jobs[1].UserGPUs = 4
-	v.Jobs[1].Submit = 50
+	v.Jobs[1].Submit = 100
 	tr := NewTiresias()
 	m := tr.Schedule(v)
-	if m.JobGPUs(1) != 4 || m.JobGPUs(0) != 0 {
-		t.Errorf("earlier submission should win: %v", m)
+	if m.JobGPUs(0) != 4 || m.JobGPUs(1) != 0 {
+		t.Errorf("first snapshot row should win: %v", m)
+	}
+
+	// Reorder the snapshot (as the SLO priority stage would): the new
+	// first row wins even though it submitted later.
+	v.Jobs[0], v.Jobs[1] = v.Jobs[1], v.Jobs[0]
+	m = tr.Schedule(v)
+	if m.JobGPUs(0) != 4 || m.JobGPUs(1) != 0 {
+		t.Errorf("reordered snapshot should put the new first row ahead: %v", m)
 	}
 }
 

@@ -25,6 +25,13 @@ type JobView struct {
 	ID     int
 	Submit float64
 
+	// Tenant is the owning tenant for multi-tenant traces ("" otherwise)
+	// and Deadline the absolute SLO deadline in seconds (0 = none). They
+	// are carried for the admit front end's priority stage and per-tenant
+	// accounting; the scheduling policies themselves do not consult them.
+	Tenant   string
+	Deadline float64
+
 	// Model is the goodput function reported by the job's PolluxAgent
 	// (fitted θsys, current φ, m0, batch limits).
 	Model core.Model

@@ -44,13 +44,15 @@ func (t *Tiresias) Schedule(v *ClusterView) ga.Matrix {
 	for i := range order {
 		order[i] = i
 	}
+	// Within a queue the stable sort keeps the snapshot order, which is
+	// submission order in every deployment (traces are submit-sorted and
+	// the testbed registers trainers as they arrive) — unless an admit
+	// front end reordered the snapshot, in which case its priority (e.g.
+	// earliest SLO deadline first) decides within-queue order.
 	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := v.Jobs[order[a]], v.Jobs[order[b]]
-		qa, qb := t.queueOf(ja.GPUTime), t.queueOf(jb.GPUTime)
-		if qa != qb {
-			return qa < qb
-		}
-		return ja.Submit < jb.Submit
+		qa := t.queueOf(v.Jobs[order[a]].GPUTime)
+		qb := t.queueOf(v.Jobs[order[b]].GPUTime)
+		return qa < qb
 	})
 
 	free := make([]int, len(v.Capacity))

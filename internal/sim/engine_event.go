@@ -72,9 +72,11 @@ func (c *Cluster) runEvent() Result {
 			if j.submitted {
 				break // picked up by a coincident cluster round below
 			}
-			j.submitted = true
+			// Ties pop in ascending job-ID order (eventsim ordering),
+			// matching submitArrivals' trace order, so the admission
+			// stage sees arrivals identically under both paths.
+			c.submitJob(j)
 			j.lastT = c.now
-			c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventSubmit})
 
 		case evAgent:
 			// Cluster events pop before job events at equal timestamps,

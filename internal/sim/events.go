@@ -19,6 +19,9 @@ const (
 	EventBatchChange
 	// EventFinish fires when the job completes its work.
 	EventFinish
+	// EventReject fires when the admission stage turns the job away at
+	// submission; a rejected job never runs.
+	EventReject
 )
 
 func (k EventKind) String() string {
@@ -31,6 +34,8 @@ func (k EventKind) String() string {
 		return "batch"
 	case EventFinish:
 		return "finish"
+	case EventReject:
+		return "reject"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

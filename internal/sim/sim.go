@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"repro/internal/admit"
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/ga"
@@ -87,6 +88,12 @@ type Config struct {
 	// on the simulation goroutine and fits draw no randomness, so traces
 	// are bit-identical at any worker count.
 	RefitWorkers int
+	// FrontEnd configures the multi-tenant serving front end (admission +
+	// priority, internal/admit) that gates arrivals and orders the
+	// scheduler's snapshot; nil disables it, leaving the control loop
+	// bit-identical to a front-end-less build. Invalid policy names panic
+	// in NewCluster, like an invalid Engine.
+	FrontEnd *admit.Options
 	// Autoscale enables Sec. 4.2.2 multi-job cluster autoscaling: Nodes
 	// then acts as the maximum cluster size and the active size varies.
 	Autoscale *ClusterAutoscaleConfig
@@ -149,6 +156,7 @@ type jobState struct {
 	pl    core.Placement
 
 	submitted    bool
+	rejected     bool // turned away by the admission stage; implies done
 	done         bool
 	finish       float64
 	restartUntil float64
@@ -202,6 +210,13 @@ type Result struct {
 	// paper's per-category discussion (Small/Medium/Large/XLarge map
 	// onto models one-to-one except the two Small workloads).
 	PerModel map[string]metrics.Summary
+	// PerTenant breaks the run down by tenant for multi-tenant traces:
+	// JCT statistics plus the front end's admission counters and queue
+	// depths. Nil for single-tenant runs.
+	PerTenant map[string]metrics.TenantSummary
+	// Admissions is the front end's decision log in arrival order (nil
+	// without a front end) — the cross-deployment parity surface.
+	Admissions []admit.Decision
 	// Events is the structured event log (populated when
 	// Config.LogEvents is set).
 	Events []Event
@@ -214,6 +229,7 @@ type Cluster struct {
 	rng    *rand.Rand
 	jobs   []*jobState
 	now    float64
+	fe     *admit.FrontEnd // nil when cfg.FrontEnd is nil
 
 	// Cluster autoscaling state (Sec. 4.2.2). With autoscaling disabled,
 	// activeNodes stays at cfg.Nodes.
@@ -234,7 +250,11 @@ type Cluster struct {
 func NewCluster(trace workload.Trace, policy sched.Policy, cfg Config) *Cluster {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	c := &Cluster{cfg: cfg, policy: policy, rng: rng, activeNodes: cfg.Nodes}
+	fe, err := admit.New(cfg.FrontEnd)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	c := &Cluster{cfg: cfg, policy: policy, rng: rng, fe: fe, activeNodes: cfg.Nodes}
 	if cfg.Autoscale != nil {
 		c.activeNodes = cfg.Autoscale.MinNodes
 	}
@@ -303,9 +323,25 @@ func (c *Cluster) runTick() Result {
 func (c *Cluster) submitArrivals() {
 	for _, j := range c.jobs {
 		if !j.submitted && j.wj.Submit <= c.now {
-			j.submitted = true
-			c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventSubmit})
+			c.submitJob(j)
 		}
+	}
+}
+
+// submitJob runs one arrival through the admission stage. Jobs reach
+// admission in trace order (submit-sorted, ties in stable ID order) under
+// every engine — the same order cluster.Replay presents them — and the
+// request carries the trace's submit time, not the engine's clock, so
+// admission decisions are bit-identical across deployments. A rejected
+// job is terminal: it never becomes active and never finishes.
+func (c *Cluster) submitJob(j *jobState) {
+	j.submitted = true
+	c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventSubmit})
+	gpus, _ := j.fixedBatch()
+	if !c.fe.Arrive(admit.Request{Job: j.wj.ID, Tenant: j.wj.Tenant, Time: j.wj.Submit, GPUs: gpus}) {
+		j.rejected = true
+		j.done = true
+		c.record(Event{Time: c.now, Job: j.wj.ID, Kind: EventReject})
 	}
 }
 
@@ -378,7 +414,7 @@ func (c *Cluster) agentTick() {
 // policy that trips it every round shows up as zero completions), now
 // with matrix-wide capacity validation included.
 func (c *Cluster) scheduleTick() {
-	rounds.Step(c, c.policy, c.now) //nolint:errcheck // defensive skip
+	rounds.Step(c, c.fe, c.policy, c.now) //nolint:errcheck // defensive skip
 }
 
 // Round snapshots the scheduler inputs for runtime.Step: every active
@@ -401,6 +437,8 @@ func (c *Cluster) Round(now float64) *sched.ClusterView {
 		view.Jobs = append(view.Jobs, sched.JobView{
 			ID:             j.wj.ID,
 			Submit:         j.wj.Submit,
+			Tenant:         j.wj.Tenant,
+			Deadline:       j.wj.Deadline,
 			Model:          j.agent.Report(),
 			GPUCap:         j.agent.GPUCap(),
 			UserGPUs:       gpus,
@@ -534,20 +572,58 @@ func (c *Cluster) result() Result {
 	var res Result
 	var effSum, runSum, tputSum, goodSum float64
 	perModel := make(map[string][]metrics.JobRecord)
+	type tenantAccum struct{ goodSum, runTime float64 }
+	tenantRates := make(map[string]*tenantAccum)
 	for _, j := range c.jobs {
-		rec := metrics.JobRecord{Submit: j.wj.Submit, Finish: j.finish}
+		rec := metrics.JobRecord{
+			Submit:   j.wj.Submit,
+			Finish:   j.finish,
+			Tenant:   j.wj.Tenant,
+			Deadline: j.wj.Deadline,
+			Rejected: j.rejected,
+		}
 		res.Records = append(res.Records, rec)
 		perModel[j.spec.Name] = append(perModel[j.spec.Name], rec)
 		effSum += j.effSum
 		runSum += j.runTime
 		tputSum += j.tputSum
 		goodSum += j.goodSum
+		if j.wj.Tenant != "" {
+			ta := tenantRates[j.wj.Tenant]
+			if ta == nil {
+				ta = &tenantAccum{}
+				tenantRates[j.wj.Tenant] = ta
+			}
+			ta.goodSum += j.goodSum
+			ta.runTime += j.runTime
+		}
 	}
 	res.Summary = metrics.Summarize(res.Records)
 	res.PerModel = make(map[string]metrics.Summary, len(perModel))
 	for name, recs := range perModel {
 		res.PerModel[name] = metrics.Summarize(recs)
 	}
+	res.PerTenant = metrics.SummarizeTenants(res.Records)
+	feStats := c.fe.Stats()
+	for tenant, ts := range res.PerTenant {
+		if st, ok := feStats[tenant]; ok {
+			ts.Submitted = st.Submitted
+			ts.Admitted = st.Admitted
+			ts.Rejected = st.Rejected
+			if rounds := c.fe.Rounds(); rounds > 0 {
+				ts.AvgQueueDepth = st.QueueDepthSum / float64(rounds)
+			}
+		} else {
+			// No front end: every generated job was implicitly admitted.
+			ts.Submitted = ts.Summary.Total
+			ts.Admitted = ts.Summary.Total
+		}
+		if ta := tenantRates[tenant]; ta != nil && ta.runTime > 0 {
+			ts.AvgGoodput = ta.goodSum / ta.runTime
+		}
+		res.PerTenant[tenant] = ts
+	}
+	res.Admissions = c.fe.Decisions()
 	res.CostNodeSeconds = c.nodeSeconds
 	res.Events = c.events
 	if runSum > 0 {
@@ -566,6 +642,27 @@ func (c *Cluster) result() Result {
 // seed order, so the average is identical to a serial run.
 func RunSeeds(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
 	newPolicy func(seed int64) sched.Policy, cfg Config) metrics.Summary {
+	full := RunSeedsFull(seeds, genTrace, newPolicy, cfg)
+	runs := make([]metrics.Summary, len(full))
+	tputs := make([]float64, len(full))
+	goods := make([]float64, len(full))
+	for i, res := range full {
+		runs[i] = res.Summary
+		tputs[i] = res.AvgThroughput
+		goods[i] = res.AvgGoodput
+	}
+	avg := metrics.Average(runs)
+	avg.AvgThroughputX = metrics.Mean(tputs)
+	avg.AvgGoodputX = metrics.Mean(goods)
+	return avg
+}
+
+// RunSeedsFull is RunSeeds without the reduction: it returns every
+// seed's full Result in seed order, for callers that need more than the
+// averaged summary (per-tenant breakdowns, admission logs). Parallelism
+// follows the same Config.Parallel contract as RunSeeds.
+func RunSeedsFull(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
+	newPolicy func(seed int64) sched.Policy, cfg Config) []Result {
 	// Concurrent seeds already saturate the cores; letting each seed's
 	// cluster also default RefitWorkers to GOMAXPROCS would run up to
 	// seeds x cores L-BFGS fits at once for no added throughput. Split
@@ -575,22 +672,14 @@ func RunSeeds(seeds []int64, genTrace func(rng *rand.Rand) workload.Trace,
 	if inFlight := min(cfg.Parallel, len(seeds)); inFlight > 1 && cfg.RefitWorkers == 0 {
 		cfg.RefitWorkers = max(1, runtime.GOMAXPROCS(0)/inFlight)
 	}
-	runs := make([]metrics.Summary, len(seeds))
-	tputs := make([]float64, len(seeds))
-	goods := make([]float64, len(seeds))
-	runOne := func(i int, seed int64) {
+	out := make([]Result, len(seeds))
+	par.For(cfg.Parallel, len(seeds), func(i int) {
+		seed := seeds[i]
 		rng := rand.New(rand.NewSource(seed))
 		trace := genTrace(rng)
 		c := cfg
 		c.Seed = seed
-		res := NewCluster(trace, newPolicy(seed), c).Run()
-		runs[i] = res.Summary
-		tputs[i] = res.AvgThroughput
-		goods[i] = res.AvgGoodput
-	}
-	par.For(cfg.Parallel, len(seeds), func(i int) { runOne(i, seeds[i]) })
-	avg := metrics.Average(runs)
-	avg.AvgThroughputX = metrics.Mean(tputs)
-	avg.AvgGoodputX = metrics.Mean(goods)
-	return avg
+		out[i] = NewCluster(trace, newPolicy(seed), c).Run()
+	})
+	return out
 }

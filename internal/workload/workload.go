@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -38,6 +39,13 @@ type Job struct {
 	// User configuration (Sec. 5.3.1).
 	UserGPUs  int
 	UserBatch int
+
+	// Tenant is the submitting tenant for multi-tenant traces; "" for
+	// single-tenant traces (the paper's workloads).
+	Tenant string `json:",omitempty"`
+	// Deadline is the absolute SLO deadline in seconds from trace start
+	// (Submit + the tenant's SLO window); 0 means no deadline.
+	Deadline float64 `json:",omitempty"`
 }
 
 // Trace is a generated workload.
@@ -83,6 +91,29 @@ type Options struct {
 	// across the window (only used when Poisson is set). Default
 	// DayCycle, the 24-hour diurnal profile.
 	Cycle []float64
+	// Tenants switches generation to multi-tenant mode: each tenant
+	// contributes its own arrival stream (with its own cycle and SLO
+	// window) and every job is tagged with its tenant. When empty, the
+	// single-tenant paths above run byte-for-byte unchanged — the rng
+	// draw order of existing fixed-seed traces is load-bearing.
+	Tenants []TenantSpec
+}
+
+// TenantSpec describes one tenant's share of a multi-tenant trace.
+type TenantSpec struct {
+	// Name tags the tenant's jobs and keys per-tenant quotas and metrics.
+	Name string
+	// Jobs is the tenant's submission count (exact-count mode) or
+	// expected count (Poisson mode).
+	Jobs int
+	// Cycle is the tenant's relative submission rate per hour. In Poisson
+	// mode it is tiled cyclically across the window (default: the trace
+	// Options.Cycle, then DayCycle); in exact-count mode it is stretched
+	// over the window like DiurnalWeights (default: DiurnalWeights).
+	Cycle []float64
+	// SLOHours is the tenant's SLO window: each job's Deadline is set to
+	// Submit + SLOHours*3600. Zero means no deadline.
+	SLOHours float64
 }
 
 func (o *Options) defaults() {
@@ -107,7 +138,41 @@ func Generate(rng *rand.Rand, opts Options) Trace {
 	zoo := models.Zoo()
 	duration := opts.Hours * 3600
 	tr := Trace{Duration: duration}
-	if opts.Poisson {
+	if len(opts.Tenants) > 0 {
+		// Multi-tenant mode: tenants draw from the shared rng in spec
+		// order, so a fixed seed fixes every tenant's arrivals. IDs are
+		// sequential in generation order across tenants.
+		id := 0
+		for _, tn := range opts.Tenants {
+			jobs := tn.Jobs
+			if jobs <= 0 {
+				continue
+			}
+			if opts.Poisson {
+				cycle := tn.Cycle
+				if len(cycle) == 0 {
+					cycle = opts.Cycle
+				}
+				topts := opts
+				topts.Jobs = jobs
+				topts.Cycle = cycle
+				for _, submit := range poissonSubmits(rng, topts) {
+					tr.Jobs = append(tr.Jobs, tenantJob(makeJob(rng, zoo, opts, id, submit), tn))
+					id++
+				}
+			} else {
+				cycle := tn.Cycle
+				if len(cycle) == 0 {
+					cycle = DiurnalWeights
+				}
+				for i := 0; i < jobs; i++ {
+					submit := sampleSubmitCycle(rng, opts.Hours, cycle)
+					tr.Jobs = append(tr.Jobs, tenantJob(makeJob(rng, zoo, opts, id, submit), tn))
+					id++
+				}
+			}
+		}
+	} else if opts.Poisson {
 		// Arrival times come from the Poisson process (which fixes the
 		// job count) before any per-job draws; the per-job draw order
 		// below then matches the exact-count path.
@@ -136,6 +201,16 @@ func Generate(rng *rand.Rand, opts Options) Trace {
 		}
 	}
 	return tr
+}
+
+// tenantJob stamps a generated job with its tenant's identity and SLO
+// deadline.
+func tenantJob(j Job, tn TenantSpec) Job {
+	j.Tenant = tn.Name
+	if tn.SLOHours > 0 {
+		j.Deadline = j.Submit + tn.SLOHours*3600
+	}
+	return j
 }
 
 // makeJob draws one job's model and configurations for a known
@@ -205,7 +280,13 @@ func sampleModel(rng *rand.Rand, zoo []*models.Spec) *models.Spec {
 // sampleSubmit draws a submission time from the diurnal distribution
 // stretched over the window.
 func sampleSubmit(rng *rand.Rand, hours float64) float64 {
-	w := DiurnalWeights
+	return sampleSubmitCycle(rng, hours, DiurnalWeights)
+}
+
+// sampleSubmitCycle draws a submission time from an arbitrary hourly
+// weight profile stretched over the window (the per-tenant generalization
+// of sampleSubmit; identical rng draw pattern).
+func sampleSubmitCycle(rng *rand.Rand, hours float64, w []float64) float64 {
 	total := 0.0
 	for _, x := range w {
 		total += x
@@ -331,6 +412,21 @@ func UserConfig(rng *rand.Rand, spec *models.Spec, gpusPerNode, maxGPUs int) (gp
 	return gpus, batch
 }
 
+// Tenants returns the distinct tenant names in the trace, sorted; a
+// single-tenant trace returns nil.
+func (t Trace) Tenants() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, j := range t.Jobs {
+		if j.Tenant != "" && !seen[j.Tenant] {
+			seen[j.Tenant] = true
+			names = append(names, j.Tenant)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // HourlyCounts histograms submissions per hour for Fig. 6.
 func (t Trace) HourlyCounts() []int {
 	hours := int(math.Ceil(t.Duration / 3600))
@@ -360,6 +456,9 @@ func (t Trace) Validate() error {
 		}
 		if j.TunedBatch < spec.M0 || j.UserBatch < spec.M0 {
 			return fmt.Errorf("job %d: batch below m0", j.ID)
+		}
+		if j.Deadline != 0 && j.Deadline < j.Submit {
+			return fmt.Errorf("job %d: deadline %v before submit %v", j.ID, j.Deadline, j.Submit)
 		}
 	}
 	return nil
