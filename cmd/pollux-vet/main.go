@@ -1,0 +1,22 @@
+// Command pollux-vet is the repo's custom vet multichecker: it runs the
+// internal/lint analyzers (detmap, wallclock, rngshare, zerodefault,
+// floateq) that mechanically enforce the determinism, clock, and
+// option-pattern invariants the exhibit baselines rest on.
+//
+// CI runs it as
+//
+//	go build -o bin/pollux-vet ./cmd/pollux-vet
+//	go vet -vettool=bin/pollux-vet ./...
+//
+// and `pollux-vet ./...` is shorthand for the same. See
+// docs/architecture.md, "Determinism invariants and lint".
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.All())
+}

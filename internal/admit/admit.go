@@ -279,9 +279,11 @@ func sloLess(a, b sched.JobView) bool {
 	if ad != bd {
 		return ad
 	}
+	//pollux:floateq-ok comparator tie-break on values copied verbatim from the trace; equality is a genuine tie
 	if ad && a.Deadline != b.Deadline {
 		return a.Deadline < b.Deadline
 	}
+	//pollux:floateq-ok comparator tie-break on values copied verbatim from the trace; equality is a genuine tie
 	if a.Submit != b.Submit {
 		return a.Submit < b.Submit
 	}

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -57,9 +58,7 @@ func (s *State) Snapshot() (capacity []int, placed map[string][]int) {
 	copy(capacity, s.capacity)
 	placed = make(map[string][]int, len(s.placed))
 	for job, row := range s.placed {
-		cp := make([]int, len(row))
-		copy(cp, row)
-		placed[job] = cp
+		placed[job] = append([]int(nil), row...)
 	}
 	return capacity, placed
 }
@@ -110,7 +109,8 @@ func (s *State) Evict(job string) {
 	delete(s.placed, job)
 }
 
-// Jobs lists currently placed job names.
+// Jobs lists currently placed job names, sorted: callers iterate the
+// result, and handing them map order would leak nondeterminism.
 func (s *State) Jobs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -118,6 +118,7 @@ func (s *State) Jobs() []string {
 	for j := range s.placed {
 		out = append(out, j)
 	}
+	sort.Strings(out)
 	return out
 }
 

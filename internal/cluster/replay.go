@@ -78,7 +78,9 @@ func (c *ReplayConfig) defaults() {
 	if c.ReportEvery <= 0 {
 		c.ReportEvery = 30
 	}
-	if c.RestartDelay == 0 {
+	if c.RestartDelay < 0 {
+		c.RestartDelay = 0
+	} else if c.RestartDelay == 0 {
 		c.RestartDelay = 30
 	}
 	if c.MaxTime <= 0 {
@@ -266,6 +268,7 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 	res.Summary = metrics.Summarize(res.Records)
 	res.PerTenant = metrics.SummarizeTenants(res.Records)
 	feStats := fe.Stats()
+	//pollux:order-ok each iteration fills only its own tenant's summary; Rounds is a pure accessor
 	for tenant, ts := range res.PerTenant {
 		if st, ok := feStats[tenant]; ok {
 			ts.Submitted = st.Submitted

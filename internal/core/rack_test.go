@@ -48,11 +48,13 @@ func TestRackTSyncTiers(t *testing.T) {
 	}
 	// One node: local params, identical to the flat model.
 	pl := RackPlacement{GPUs: 4, Nodes: 1, Racks: 1}
+	//pollux:floateq-ok degenerate topology must reduce to the flat model bit-for-bit, not approximately
 	if got, want := refRack.TSync(pl), refParams.TSync(pl.Flat()); got != want {
 		t.Errorf("one-node sync = %v, want %v", got, want)
 	}
 	// Multi-node one rack: node params, identical to the flat model.
 	pl = RackPlacement{GPUs: 8, Nodes: 2, Racks: 1}
+	//pollux:floateq-ok degenerate topology must reduce to the flat model bit-for-bit, not approximately
 	if got, want := refRack.TSync(pl), refParams.TSync(pl.Flat()); got != want {
 		t.Errorf("one-rack sync = %v, want %v", got, want)
 	}

@@ -26,6 +26,7 @@ func TestDriveDispatchesInOrder(t *testing.T) {
 		t.Fatalf("dispatched %v, want %v", got, want)
 	}
 	for i := range want {
+		//pollux:floateq-ok dispatch hands back the exact times pushed; any difference is a kernel bug
 		if got[i] != want[i] {
 			t.Fatalf("dispatched %v, want %v", got, want)
 		}

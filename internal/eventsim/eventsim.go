@@ -58,6 +58,7 @@ type Event struct {
 
 // before is the kernel's strict ordering relation.
 func (e Event) before(o Event) bool {
+	//pollux:floateq-ok strict event ordering: exactly equal times fall through to the deterministic tie-breakers
 	if e.Time != o.Time {
 		return e.Time < o.Time
 	}

@@ -24,6 +24,7 @@ func TestQueueOrdersByTime(t *testing.T) {
 	}
 	got := drain(&q)
 	for i, e := range got {
+		//pollux:floateq-ok times are exact small integers pushed in; the pop must return them verbatim
 		if e.Time != float64(i+1) {
 			t.Fatalf("pop %d: time = %v, want %v", i, e.Time, i+1)
 		}
@@ -124,6 +125,7 @@ func TestQueueMatchesReferenceSort(t *testing.T) {
 		want := append([]Event(nil), events...)
 		sort.SliceStable(want, func(a, b int) bool {
 			ea, eb := want[a], want[b]
+			//pollux:floateq-ok reference comparator mirrors Event.before; exactly equal times are genuine ties
 			if ea.Time != eb.Time {
 				return ea.Time < eb.Time
 			}

@@ -244,6 +244,7 @@ func TestFairnessShortSmoke(t *testing.T) {
 			if sub <= 0 {
 				t.Errorf("%s: no submissions recorded", key)
 			}
+			//pollux:floateq-ok integer-valued counters carried in float64 fields; small-int sums are exact
 			if adm+rej != sub {
 				t.Errorf("%s: admitted %v + rejected %v != submitted %v", key, adm, rej, sub)
 			}
@@ -254,6 +255,7 @@ func TestFairnessShortSmoke(t *testing.T) {
 				t.Errorf("%s: quota should bind but nothing was rejected", key)
 			}
 			// Admission is policy-independent: same counts under both.
+			//pollux:floateq-ok admission is policy-independent by construction; both counters are exact small ints
 			if other := o.Values["Pollux/"+tenant+"/rejected"]; rej != other {
 				t.Errorf("%s: rejected %v differs from Pollux's %v", key, rej, other)
 			}

@@ -32,9 +32,11 @@ func TestOutcomeRecord(t *testing.T) {
 			t.Errorf("metric[%d] = %q, want %q (sorted)", i, r.Metrics[i].Name, want)
 		}
 	}
+	//pollux:floateq-ok the defaulted tolerance is assigned from this same 0.05 literal; the check is verbatim propagation
 	if m := r.Metrics[0]; m.Unit != "" || m.RelTol != 0.05 || m.AbsTol != 0 {
 		t.Errorf("default band not applied: %+v", m)
 	}
+	//pollux:floateq-ok the defaulted tolerance is assigned from this same 0.05 literal; the check is verbatim propagation
 	if m := r.Metrics[1]; m.Unit != "s" || m.RelTol != 0.05 {
 		t.Errorf("unit lost: %+v", m)
 	}

@@ -355,6 +355,7 @@ func TestGAWorkersBitIdentical(t *testing.T) {
 	if !m1.Equal(m8) {
 		t.Errorf("Workers 1 vs 8 best matrices differ:\n%v\n%v", m1, m8)
 	}
+	//pollux:floateq-ok bit-identical determinism gate: the worker count must not change the result at all
 	if f1 != f8 {
 		t.Errorf("Workers 1 vs 8 fitness differ: %v vs %v", f1, f8)
 	}

@@ -1,0 +1,380 @@
+// Package driver runs the internal/lint analyzers under `go vet
+// -vettool`. It reimplements, on the standard library alone, the slice
+// of golang.org/x/tools/go/analysis/unitchecker protocol that the go
+// command speaks to an external vet tool:
+//
+//	pollux-vet -V=full     describe the executable (for build caching)
+//	pollux-vet -flags      describe flags as JSON (for go vet flag parsing)
+//	pollux-vet foo.cfg     analyze one compilation unit described by the
+//	                       JSON config the go command wrote
+//
+// plus a convenience mode: `pollux-vet ./...` re-execs `go vet
+// -vettool=$0 ./...` so the tool is also directly runnable.
+//
+// The analyzers carry no cross-package facts, so the fact (.vetx) files
+// the protocol requires are written empty and never read, and VetxOnly
+// invocations (dependencies analyzed only for facts) return immediately
+// — stdlib dependencies cost nothing.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// A config mirrors the JSON compilation-unit description the go command
+// hands a vet tool (unitchecker.Config).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the pollux-vet entry point.
+func Main(analyzers []*lint.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s enforces the repo's determinism, clock, and option-pattern invariants.
+
+Usage:
+	go vet -vettool=$(which %[1]s) ./...   # the supported invocation
+	%[1]s ./...                            # shorthand for the above
+	%[1]s help                             # list analyzers
+	%[1]s unit.cfg                         # internal: invoked by go vet
+`, progname)
+		os.Exit(1)
+	}
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	_ = flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	enabled := map[string]*triState{}
+	for _, a := range analyzers {
+		ts := new(triState)
+		enabled[a.Name] = ts
+		flag.Var(ts, a.Name, "enable "+a.Name+" analysis")
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	analyzers = selectAnalyzers(analyzers, enabled)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if args[0] == "help" {
+		fmt.Printf("%s enforces determinism, clock, and option-pattern invariants.\n\nRegistered analyzers:\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("\nSuppress a finding with //pollux:<directive> <reason> on the flagged line or the line above.\n")
+		os.Exit(0)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runConfig(args[0], analyzers, *jsonOut)
+		return
+	}
+
+	// Package patterns: re-exec through go vet, which knows how to load
+	// and typecheck packages and call us back per compilation unit.
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// selectAnalyzers applies vet's flag convention: if any -NAME flag is
+// true, run only those; otherwise if any is false, run all but those.
+func selectAnalyzers(analyzers []*lint.Analyzer, enabled map[string]*triState) []*lint.Analyzer {
+	hasTrue := false
+	for _, ts := range enabled {
+		if *ts == setTrue {
+			hasTrue = true
+		}
+	}
+	var keep []*lint.Analyzer
+	for _, a := range analyzers {
+		switch *enabled[a.Name] {
+		case setTrue:
+			keep = append(keep, a)
+		case unset:
+			if !hasTrue {
+				keep = append(keep, a)
+			}
+		}
+	}
+	return keep
+}
+
+// runConfig analyzes the single compilation unit described by cfgFile
+// and exits: 0 clean, 1 findings, fatal on driver errors.
+func runConfig(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The protocol requires a fact file per unit even though these
+	// analyzers produce no facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatalf("failed to write facts: %v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyze(fset, cfg, analyzers)
+	writeVetx()
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0) // the compiler will report the real error
+		}
+		log.Fatal(err)
+	}
+
+	if jsonOut {
+		printJSON(fset, cfg.ID, diags)
+		os.Exit(0)
+	}
+	exit := 0
+	for _, d := range diags {
+		for _, diag := range d.diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(diag.Pos), diag.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+type analyzerDiags struct {
+	name  string
+	diags []lint.Diagnostic
+}
+
+// analyze parses and typechecks the unit (types of dependencies come
+// from the compiler export data the go command lists in cfg) and runs
+// the analyzers over it.
+func analyze(fset *token.FileSet, cfg *config, analyzers []*lint.Analyzer) ([]analyzerDiags, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: version.Lang(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var results []analyzerDiags
+	for _, a := range analyzers {
+		res := analyzerDiags{name: a.Name}
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d lint.Diagnostic) { res.diags = append(res.diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// printJSON emits the diagnostic tree go vet -json expects:
+// {"pkgID": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func printJSON(fset *token.FileSet, pkgID string, diags []analyzerDiags) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		for _, diag := range d.diags {
+			byAnalyzer[d.name] = append(byAnalyzer[d.name], jsonDiag{
+				Posn:    fset.Position(diag.Pos).String(),
+				Message: diag.Message,
+			})
+		}
+	}
+	tree := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// printFlags answers `pollux-vet -flags`: the go command parses this to
+// learn which command-line flags it may forward to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol: the go command hashes the
+// reported build ID into its action cache key, so the output must change
+// whenever the binary does.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// triState distinguishes an unset analyzer flag from an explicit
+// true/false, mirroring vet's per-analyzer selection semantics.
+type triState int
+
+const (
+	unset triState = iota
+	setTrue
+	setFalse
+)
+
+func (ts *triState) IsBoolFlag() bool { return true }
+func (ts *triState) String() string   { return "unset" }
+func (ts *triState) Set(value string) error {
+	switch value {
+	case "true":
+		*ts = setTrue
+	case "false":
+		*ts = setFalse
+	default:
+		return fmt.Errorf("want true or false")
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,205 @@
+// Package lint holds the pollux-vet analyzers: mechanical enforcement of
+// the determinism, clock, and option-pattern invariants the reproduction's
+// parity guarantees rest on (bit-identical parallel-vs-serial GA scoring,
+// bit-reproducible cluster.Replay, exact closed-form exhibit baselines).
+//
+// The analyzers mirror golang.org/x/tools/go/analysis in miniature — the
+// container this repo builds in has no module proxy access, so the
+// framework (Analyzer, Pass, the vet driver protocol in
+// internal/lint/driver) is reimplemented on the standard library alone.
+//
+// Analyzers:
+//
+//   - detmap: range over a map in a determinism-critical package must be
+//     conservatively order-insensitive or justified //pollux:order-ok.
+//   - wallclock: wall-clock time and global math/rand are forbidden in
+//     determinism-critical packages; time flows through eventsim.Clock,
+//     randomness through a seeded *rand.Rand.
+//   - rngshare: a *rand.Rand must not cross a goroutine boundary — not
+//     captured by a `go` closure, not passed into par.For-style helpers.
+//   - zerodefault: a `if o.X == 0 { o.X = d }` defaults() rewrite of a
+//     numeric option field needs a negative-sentinel or Disable* escape.
+//   - floateq: ==/!= on floats, except exact-representable constants and
+//     the x != x NaN idiom.
+//
+// A finding is suppressed by a justification comment on the flagged line
+// or the line above:
+//
+//	//pollux:<directive> <reason>
+//
+// where <directive> is the analyzer's directive name (order-ok for
+// detmap, otherwise <name>-ok) and <reason> is mandatory prose recorded
+// for the next reader. A directive with no reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape matches
+// x/tools/go/analysis.Analyzer so the checks port mechanically if the
+// dependency ever becomes available.
+type Analyzer struct {
+	Name string // command-line name, e.g. "detmap"
+	Doc  string // one-paragraph description for -flags / help output
+	// Directive is the //pollux:<directive> comment that suppresses this
+	// analyzer's findings at a site ("" = no suppression supported).
+	Directive string
+	Run       func(*Pass) error
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	directives map[string]map[int]*directive // filename → line → directive
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetMap,
+		WallClock,
+		RngShare,
+		ZeroDefault,
+		FloatEq,
+	}
+}
+
+// criticalPkgs are the determinism-critical packages: any range over a
+// map, wall-clock read, or unseeded randomness here can silently perturb
+// fixed-seed traces and the checked-in exhibit baselines.
+var criticalPkgs = map[string]bool{
+	"sim":         true,
+	"sched":       true,
+	"ga":          true,
+	"agent":       true,
+	"workload":    true,
+	"cluster":     true,
+	"admit":       true,
+	"runtime":     true,
+	"eventsim":    true,
+	"experiments": true,
+}
+
+// critical reports whether pkgPath is determinism-critical. Matching is
+// by final path element so test fixtures (package path "sim") and the
+// real tree (package path "repro/internal/sim") resolve identically.
+func critical(pkgPath string) bool {
+	return criticalPkgs[path.Base(pkgPath)]
+}
+
+// isTestFile reports whether pos is inside a _test.go file.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// A directive is one //pollux:<name> <reason> justification comment.
+type directive struct {
+	name   string
+	reason string
+}
+
+const directivePrefix = "pollux:"
+
+// exempt reports whether the finding at pos is suppressed by a
+// //pollux:<name> directive on the same line or the line above. A
+// directive that matches but carries no reason does not suppress —
+// instead the missing reason is reported, so the tree cannot go clean on
+// bare annotations.
+func (p *Pass) exempt(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = map[string]map[int]*directive{}
+		for _, f := range p.Files {
+			fname := p.Fset.File(f.Pos()).Name()
+			byLine := map[int]*directive{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+					if !ok {
+						continue
+					}
+					dname, reason, _ := strings.Cut(text, " ")
+					byLine[p.Fset.Position(c.Pos()).Line] = &directive{
+						name:   dname,
+						reason: strings.TrimSpace(reason),
+					}
+				}
+			}
+			p.directives[fname] = byLine
+		}
+	}
+	posn := p.Fset.Position(pos)
+	byLine := p.directives[posn.Filename]
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		d := byLine[line]
+		if d == nil || d.name != name {
+			continue
+		}
+		if d.reason == "" {
+			p.Reportf(pos, "//%s%s needs a reason: say why this site is safe", directivePrefix, name)
+			return true
+		}
+		return true
+	}
+	return false
+}
+
+// funcPkg resolves a call or value use of a package-level function and
+// returns (package path, function name). ok is false for anything else
+// (methods, locals, builtins).
+func funcPkg(info *types.Info, e ast.Expr) (pkgPath, name string, ok bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return "", "", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// isRandRand reports whether t is *math/rand.Rand (or math/rand/v2).
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "math/rand" || p == "math/rand/v2"
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over at least one fixture package with flagged
+// sites (// want annotations) and one with allowed counterparts; the
+// linttest runner fails on both unexpected and missing diagnostics, so
+// every fixture checks acceptance and rejection together.
+
+func TestDetMap(t *testing.T) {
+	linttest.Run(t, lint.DetMap, "sim", "detmaputil")
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "cluster", "eventsim", "detmaputil")
+}
+
+func TestRngShare(t *testing.T) {
+	linttest.Run(t, lint.RngShare, "rngshare")
+}
+
+func TestZeroDefault(t *testing.T) {
+	linttest.Run(t, lint.ZeroDefault, "zerodefault")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "floateq")
+}

@@ -1,0 +1,241 @@
+// Package linttest runs internal/lint analyzers over testdata fixture
+// packages and checks reported diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// build cannot depend on — see internal/lint).
+//
+// Fixtures live in testdata/src/<pkgpath>/ relative to the calling
+// test. Each line that should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment ("// want `regexp`" also works; several per line allowed).
+// Diagnostics and want comments are matched per line: every diagnostic
+// must match a want on its line and every want must be matched.
+//
+// Fixture packages may import the standard library and sibling fixture
+// packages (import path = directory name under testdata/src); both are
+// typechecked from source, so no build cache or module proxy is needed.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run analyzes each fixture package under testdata/src with a and
+// reports mismatches against the // want annotations.
+func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(t)
+	for _, pkgPath := range pkgPaths {
+		t.Run(a.Name+"/"+pkgPath, func(t *testing.T) {
+			t.Helper()
+			pkg := ld.load(t, pkgPath)
+
+			var diags []lint.Diagnostic
+			pass := &lint.Pass{
+				Analyzer:  a,
+				Fset:      ld.fset,
+				Files:     pkg.files,
+				Pkg:       pkg.types,
+				TypesInfo: pkg.info,
+				Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s failed: %v", a.Name, err)
+			}
+			check(t, ld.fset, pkg, diags)
+		})
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	wants map[string]map[int][]*want // filename → line → wants
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []lint.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range pkg.wants[posn.Filename][posn.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var missing []string
+	for fname, byLine := range pkg.wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", fname, line, w.re))
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("%s", m)
+	}
+}
+
+// loader typechecks fixture packages, resolving fixture-local imports
+// from testdata/src and everything else from GOROOT source via the
+// "source" importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string // testdata/src
+	std     types.Importer
+	pkgs    map[string]*fixturePkg
+	loading map[string]bool
+}
+
+func newLoader(t *testing.T) *loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*fixturePkg{},
+		loading: map[string]bool{},
+	}
+}
+
+func (ld *loader) load(t *testing.T, pkgPath string) *fixturePkg {
+	t.Helper()
+	if pkg, ok := ld.pkgs[pkgPath]; ok {
+		return pkg
+	}
+	if ld.loading[pkgPath] {
+		t.Fatalf("import cycle through fixture %q", pkgPath)
+	}
+	ld.loading[pkgPath] = true
+	defer delete(ld.loading, pkgPath)
+
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture package %q: %v", pkgPath, err)
+	}
+	pkg := &fixturePkg{wants: map[string]map[int][]*want{}}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(ld.fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", fname, err)
+		}
+		pkg.files = append(pkg.files, f)
+		pkg.wants[fname] = parseWants(t, ld.fset, f)
+	}
+	if len(pkg.files) == 0 {
+		t.Fatalf("fixture package %q has no .go files", pkgPath)
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+			return ld.load(t, path).types, nil
+		}
+		return ld.std.Import(path)
+	})
+	pkg.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg.types, err = tc.Check(pkgPath, ld.fset, pkg.files, pkg.info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %q: %v", pkgPath, err)
+	}
+	ld.pkgs[pkgPath] = pkg
+	return pkg
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) map[int][]*want {
+	t.Helper()
+	byLine := map[int][]*want{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, pat := range splitPatterns(t, m[1], fset.Position(c.Pos())) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				byLine[line] = append(byLine[line], &want{re: re})
+			}
+		}
+	}
+	return byLine
+}
+
+// splitPatterns parses `"re1" "re2"` or backquoted equivalents.
+func splitPatterns(t *testing.T, s string, posn token.Position) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted, got %q", posn, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", posn, s)
+		}
+		pats = append(pats, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return pats
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// RngShare flags a *rand.Rand crossing a goroutine boundary.
+//
+// The repo's bit-identical parallel-vs-serial guarantee rests on the
+// PR 2 rule: the rng stays on the caller's goroutine; workers receive
+// data, never the rng. *rand.Rand is both unsynchronized (a data race)
+// and order-sensitive (even a synchronized share would make draw order
+// depend on scheduling). Flagged shapes:
+//
+//   - a *rand.Rand declared outside a `go func(){...}()` closure but
+//     referenced inside it (capture);
+//   - a *rand.Rand passed as a direct argument of a go statement's call;
+//   - both of the above for func literals handed to goroutine-spawning
+//     helpers: anything in an internal par package (par.For worker
+//     pools) or a method named Go (errgroup shape).
+//
+// Per-goroutine rngs derived inside the closure (rand.New(rand.NewSource
+// (seed+i))) are the sanctioned pattern and pass clean.
+var RngShare = &Analyzer{
+	Name:      "rngshare",
+	Doc:       "flags a *rand.Rand captured by a go-statement closure or passed into goroutine-spawning helpers (par.For, worker pools); derive per-goroutine rngs from seeds instead",
+	Directive: "rngshare-ok",
+	Run:       runRngShare,
+}
+
+func runRngShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkSpawnCall(pass, n.Call, "go statement")
+			case *ast.CallExpr:
+				if spawner, ok := spawnHelper(pass.TypesInfo, n); ok {
+					checkSpawnCall(pass, n, spawner)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnHelper reports whether call invokes a goroutine-spawning helper
+// and names it. Helpers: any function in a package whose final path
+// element is "par" (the repo's bounded parallel-for), and any method
+// named Go (the errgroup shape).
+func spawnHelper(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkg, name, ok := funcPkg(info, sel); ok && path.Base(pkg) == "par" {
+		return "par." + name, true
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Name() == "Go" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ").Go", true
+		}
+	}
+	return "", false
+}
+
+// checkSpawnCall flags *rand.Rand values escaping onto the spawned
+// goroutine: direct arguments, and captures inside func-literal
+// arguments (or the called literal itself).
+func checkSpawnCall(pass *Pass, call *ast.CallExpr, spawner string) {
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			checkCapture(pass, fl, spawner)
+			continue
+		}
+		if isRandRand(pass.TypesInfo.TypeOf(arg)) {
+			if !pass.exempt(arg.Pos(), "rngshare-ok") {
+				pass.Reportf(arg.Pos(), "*rand.Rand passed into %s: the rng must stay on the caller's goroutine — pass a seed and derive a goroutine-local rng (or justify with //pollux:rngshare-ok <reason>)", spawner)
+			}
+		}
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		checkCapture(pass, fl, spawner)
+	}
+}
+
+// checkCapture flags references inside fl to *rand.Rand variables
+// declared outside it.
+func checkCapture(pass *Pass, fl *ast.FuncLit, spawner string) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isRandRand(v.Type()) {
+			return true
+		}
+		// Declared inside the literal (parameter or local): owned by the
+		// spawned goroutine, fine.
+		if fl.Pos() <= v.Pos() && v.Pos() <= fl.End() {
+			return true
+		}
+		if !pass.exempt(id.Pos(), "rngshare-ok") {
+			pass.Reportf(id.Pos(), "*rand.Rand %q captured by a closure spawned via %s: draw order becomes schedule-dependent — draw on the caller's goroutine or derive a goroutine-local rng from a seed (or justify with //pollux:rngshare-ok <reason>)", id.Name, spawner)
+		}
+		return true
+	})
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean builds cmd/pollux-vet and runs it over the whole module,
+// so a determinism-invariant violation anywhere in the tree fails plain
+// `go test ./...` locally, not just the dedicated CI step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide vet run skipped in -short mode")
+	}
+	root := moduleRoot(t)
+
+	bin := filepath.Join(t.TempDir(), "pollux-vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pollux-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pollux-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("pollux-vet found violations: %v\n%s", err, out)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,9 @@
+package eventsim
+
+import "time"
+
+// Everything in eventsim outside clock.go plays by the same rules as
+// the other determinism-critical packages.
+func badTick() time.Time {
+	return time.Now() // want `time.Now in determinism-critical package eventsim`
+}

@@ -1,0 +1,57 @@
+// Package zerodefault is a zerodefault fixture: defaults()-style
+// rewrites of numeric option fields need an explicit-zero escape.
+package zerodefault
+
+type Options struct {
+	Population     int
+	RestartPenalty float64
+	// DisableRestartPenalty makes an explicit zero penalty expressible.
+	DisableRestartPenalty bool
+	// GPUTimeThres: negative means an explicit zero threshold.
+	GPUTimeThres float64
+	Interval     float64
+	Burst        int
+}
+
+func (o *Options) defaults() {
+	if o.Population == 0 { // want `defaults rewrite of Population == 0 leaves no way to ask for an explicit zero`
+		o.Population = 100
+	}
+	// Escape via Disable* toggle in the same chain.
+	if o.DisableRestartPenalty {
+		o.RestartPenalty = 0
+	} else if o.RestartPenalty == 0 {
+		o.RestartPenalty = 0.25
+	}
+	// Escape via negative sentinel in the same chain.
+	if o.GPUTimeThres < 0 {
+		o.GPUTimeThres = 0
+	} else if o.GPUTimeThres == 0 {
+		o.GPUTimeThres = 4 * 3600
+	}
+	if o.Interval == 0 { // want `defaults rewrite of Interval == 0 leaves no way to ask for an explicit zero`
+		o.Interval = 30
+	}
+	//pollux:zerodefault-ok a zero burst is meaningless: the bucket must admit at least one job
+	if o.Burst == 0 {
+		o.Burst = 10
+	}
+}
+
+// applyDefaultsSplit shows the negative sentinel handled in a separate
+// statement rather than the same chain: still an escape.
+func (o *Options) applyDefaultsSplit() {
+	if o.Interval < 0 {
+		o.Interval = 0
+	}
+	if o.Interval == 0 {
+		o.Interval = 30
+	}
+}
+
+// clamp is not a defaults function; the same shape passes untouched.
+func (o *Options) clamp() {
+	if o.Population == 0 {
+		o.Population = 1
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// WallClock forbids wall-clock time and global math/rand state in
+// determinism-critical packages.
+//
+// Simulated time flows through eventsim.Clock (internal/eventsim/clock.go
+// is the single allowlisted implementation site); randomness flows
+// through a seeded *rand.Rand handed down explicitly. A stray time.Now
+// in a scheduling round or a global rand.Intn in a workload generator
+// breaks bit-reproducible cluster.Replay and fixed-seed traces in ways
+// that only surface as flaky baselines much later.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) stay
+// allowed — they are how seeded rngs are made.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "forbids time.Now/Sleep/After/... and global math/rand functions in determinism-critical packages; time flows through eventsim.Clock, randomness through a seeded *rand.Rand",
+	Directive: "wallclock-ok",
+	Run:       runWallClock,
+}
+
+// wallClockFuncs are the package "time" functions that read or pace the
+// wall clock. time.Unix/Date etc. (pure constructors) stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		fname := pass.Fset.File(f.Pos()).Name()
+		// The one place wall time may be touched: the Wall clock
+		// implementation itself.
+		if filepath.Base(fname) == "clock.go" && strings.HasSuffix(pass.Pkg.Path(), "eventsim") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := funcPkg(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				if !pass.exempt(sel.Pos(), "wallclock-ok") {
+					pass.Reportf(sel.Pos(), "time.%s in determinism-critical package %s: wall-clock time must flow through eventsim.Clock (or justify with //pollux:wallclock-ok <reason>)", name, pass.Pkg.Name())
+				}
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !strings.HasPrefix(name, "New"):
+				if !pass.exempt(sel.Pos(), "wallclock-ok") {
+					pass.Reportf(sel.Pos(), "global rand.%s in determinism-critical package %s: draw from a seeded *rand.Rand instead (or justify with //pollux:wallclock-ok <reason>)", name, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -84,9 +84,11 @@ func TestPhiJumpsAtDecays(t *testing.T) {
 
 func TestPhiClampsProgress(t *testing.T) {
 	s := ByName("resnet18")
+	//pollux:floateq-ok clamping makes both sides the same evaluation; results must be identical bit-for-bit
 	if s.Phi(-1) != s.Phi(0) {
 		t.Error("phi(-1) != phi(0)")
 	}
+	//pollux:floateq-ok clamping makes both sides the same evaluation; results must be identical bit-for-bit
 	if s.Phi(2) != s.Phi(1) {
 		t.Error("phi(2) != phi(1)")
 	}
@@ -110,6 +112,7 @@ func TestPhiGrowsAtLeastTenfold(t *testing.T) {
 func TestTotalWork(t *testing.T) {
 	s := ByName("resnet18")
 	want := 50000.0 * 80
+	//pollux:floateq-ok product of exactly representable integers; TotalWork computes the same product
 	if s.TotalWork() != want {
 		t.Errorf("TotalWork = %v, want %v", s.TotalWork(), want)
 	}

@@ -136,6 +136,7 @@ func TestGoldenSectionMaxIntProperty(t *testing.T) {
 		}
 		x, fx := GoldenSectionMaxInt(f, lo, hi)
 		bx, bfx := scanMaxInt(f, lo, hi)
+		//pollux:floateq-ok both sides evaluate f at the same integer argument, so equality is exact
 		return x == bx && fx == bfx
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {

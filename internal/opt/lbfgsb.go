@@ -96,6 +96,7 @@ func NumGrad(f func([]float64) float64, x []float64, b Bounds, eps float64) (gra
 		if hi > b.Upper[i] {
 			hi = b.Upper[i]
 		}
+		//pollux:floateq-ok guards the zero-width clamped interval before dividing by hi-lo
 		if hi == lo {
 			grad[i] = 0
 			continue
@@ -265,6 +266,7 @@ func lineSearch(eval func([]float64) float64, x, dir, g []float64, fx float64, x
 		}
 		b.Clamp(xNew)
 		for i := range xNew {
+			//pollux:floateq-ok exact fixed-point check: Clamp hands back x[i] verbatim when the step leaves the box
 			if xNew[i] != x[i] {
 				moved = true
 				break

@@ -34,6 +34,7 @@ func TestForSlottedResultsMatchSerial(t *testing.T) {
 	parallel := make([]float64, n)
 	For(8, n, func(i int) { parallel[i] = fn(i) })
 	for i := range serial {
+		//pollux:floateq-ok bit-identical determinism gate: parallel execution must reproduce the serial result
 		if serial[i] != parallel[i] {
 			t.Fatalf("slot %d differs: %v vs %v", i, serial[i], parallel[i])
 		}

@@ -51,6 +51,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
 	m, ok := got.Records[0].Metric("Pollux/avgJCT")
+	//pollux:floateq-ok JSON round trip must hand the stored literals back verbatim
 	if !ok || m.Value != 2228.5 || m.Unit != "s" || m.RelTol != 0.05 {
 		t.Errorf("metric not preserved: %+v (ok=%v)", m, ok)
 	}
@@ -220,6 +221,7 @@ func TestMerge(t *testing.T) {
 	if merged.Records[0].Exhibit != "table2" || merged.Records[1].Exhibit != "fig6" || merged.Records[2].Exhibit != "fig99" {
 		t.Errorf("merge order wrong: %v", merged.Records)
 	}
+	//pollux:floateq-ok merge must carry the update's stored literal through verbatim
 	if m, _ := merged.Records[1].Metric("peakRatio"); m.Value != 9.9 {
 		t.Errorf("replaced record not taken from update: %+v", m)
 	}

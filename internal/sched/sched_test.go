@@ -215,6 +215,7 @@ func TestSpeedupTableMemoizes(t *testing.T) {
 	tab := newSpeedupTable(spec.GoodputModel(0.5), 16, 16, 4)
 	a := tab.Speedup(8, 2)
 	b := tab.Speedup(8, 2)
+	//pollux:floateq-ok memoization check: the second lookup must return the identical stored value
 	if a != b {
 		t.Errorf("memoized speedup differs: %v vs %v", a, b)
 	}

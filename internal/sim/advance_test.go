@@ -48,6 +48,7 @@ func TestClosedFormAdvanceIsAdditive(t *testing.T) {
 		t.Errorf("single jump progress %v vs subdivided %v (rel diff %v)",
 			jOne.progress, jMany.progress, d)
 	}
+	//pollux:floateq-ok run time accumulates the same exact tick deltas either way; equality is exact by construction
 	if jOne.runTime != jMany.runTime {
 		t.Errorf("runTime: single %v vs subdivided %v", jOne.runTime, jMany.runTime)
 	}
@@ -131,6 +132,7 @@ func TestEventEngineSnapsDecayBoundaries(t *testing.T) {
 	first := j.spec.Decays[0].Progress * total
 
 	// The milestone target is the first decay boundary, not completion.
+	//pollux:floateq-ok the target is computed from the same decay-boundary product; any difference is a real bug
 	if got := nextMilestoneTarget(j.spec, j.progress); got != first {
 		t.Errorf("nextMilestoneTarget = %v, want first decay boundary %v", got, first)
 	}
@@ -154,6 +156,7 @@ func TestEventEngineSnapsDecayBoundaries(t *testing.T) {
 	if !ok {
 		t.Fatal("no milestone scheduled for near boundary")
 	}
+	//pollux:floateq-ok predTarget is a stored copy of the same decay-boundary product; any difference is a real bug
 	if j.predTarget != first {
 		t.Errorf("predTarget = %v, want first decay boundary %v", j.predTarget, first)
 	}

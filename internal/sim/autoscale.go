@@ -19,9 +19,11 @@ type AutoscaleConfig struct {
 	Interval      float64 // autoscaler decision period; default 60 s
 	AgentInterval float64 // default 30 s
 	// ProvisionDelay is how long newly requested nodes take to join;
-	// default 60 s. Releases are immediate.
+	// the zero value takes the 60 s default, a negative value means
+	// instant provisioning. Releases are immediate.
 	ProvisionDelay float64
-	RestartDelay   float64 // default 30 s
+	// RestartDelay defaults to 30 s; negative means free restarts.
+	RestartDelay float64
 	// AdaptBatchGoodput selects the goodput-optimal batch each interval
 	// (Pollux); when false the throughput-optimal (maximum feasible)
 	// batch is used (Or et al.).
@@ -29,7 +31,8 @@ type AutoscaleConfig struct {
 	// RespectExploreCap applies Pollux's 2x-lifetime-max exploration cap
 	// to the node count (part of PolluxAgent's design, not Or et al.'s).
 	RespectExploreCap bool
-	NoiseFrac         float64
+	// NoiseFrac defaults to 0.05; negative means noise-free profiling.
+	NoiseFrac float64
 	// Tick is the step of the fixed-step engine and the profiling
 	// resolution of the event engine (see sim.Config.Tick).
 	Tick    float64
@@ -58,13 +61,19 @@ func (c *AutoscaleConfig) defaults() {
 	if c.AgentInterval <= 0 {
 		c.AgentInterval = 30
 	}
-	if c.ProvisionDelay == 0 {
+	if c.ProvisionDelay < 0 {
+		c.ProvisionDelay = 0
+	} else if c.ProvisionDelay == 0 {
 		c.ProvisionDelay = 60
 	}
-	if c.RestartDelay == 0 {
+	if c.RestartDelay < 0 {
+		c.RestartDelay = 0
+	} else if c.RestartDelay == 0 {
 		c.RestartDelay = 30
 	}
-	if c.NoiseFrac == 0 {
+	if c.NoiseFrac < 0 {
+		c.NoiseFrac = 0
+	} else if c.NoiseFrac == 0 {
 		c.NoiseFrac = 0.05
 	}
 	if c.Tick <= 0 {

@@ -14,7 +14,8 @@ type ClusterAutoscaleConfig struct {
 	// interval.
 	Interval float64
 	// ProvisionDelay is how long newly requested nodes take to join;
-	// default 60 s. Releases are immediate.
+	// the zero value takes the 60 s default, a negative value means
+	// instant provisioning. Releases are immediate.
 	ProvisionDelay float64
 }
 
@@ -34,7 +35,9 @@ func (a *ClusterAutoscaleConfig) defaults(schedInterval float64) {
 	if a.Interval <= 0 {
 		a.Interval = schedInterval
 	}
-	if a.ProvisionDelay == 0 {
+	if a.ProvisionDelay < 0 {
+		a.ProvisionDelay = 0
+	} else if a.ProvisionDelay == 0 {
 		a.ProvisionDelay = 60
 	}
 }

@@ -286,6 +286,7 @@ func (c *Cluster) refreshPredictions(q *eventsim.Queue) {
 		}
 		c.recomputeRate(j)
 		c.schedulePrediction(q, j)
+		//pollux:floateq-ok identity check against a stored copy of the same value; any difference means a fresh restart event
 		if j.restartUntil > c.now && j.restartUntil != j.restartEv {
 			j.restartEv = j.restartUntil
 			q.Push(eventsim.Event{

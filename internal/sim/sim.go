@@ -59,13 +59,15 @@ type Config struct {
 	SchedInterval float64
 	AgentInterval float64
 	// RestartDelay is the checkpoint-restart pause applied when a job's
-	// allocation changes (default 30 s).
+	// allocation changes. The zero value takes the 30 s default; a
+	// negative value means an explicit zero pause (restarts are free).
 	RestartDelay float64
 	// InterferenceSlowdown in [0, 1) slows distributed jobs that share a
 	// node with another distributed job (Sec. 5.3.2); 0 disables.
 	InterferenceSlowdown float64
 	// NoiseFrac is the relative measurement noise on profiled iteration
-	// times and noise-scale observations; default 0.05.
+	// times and noise-scale observations. The zero value takes the 0.05
+	// default; a negative value means explicitly noise-free profiling.
 	NoiseFrac float64
 	// UseTunedConfig selects each job's tuned (Sec. 5.2) rather than
 	// user (Sec. 5.3.1) configuration for the baselines. TunedFraction
@@ -124,10 +126,14 @@ func (c *Config) defaults() {
 	if c.AgentInterval <= 0 {
 		c.AgentInterval = 30
 	}
-	if c.RestartDelay == 0 {
+	if c.RestartDelay < 0 {
+		c.RestartDelay = 0
+	} else if c.RestartDelay == 0 {
 		c.RestartDelay = 30
 	}
-	if c.NoiseFrac == 0 {
+	if c.NoiseFrac < 0 {
+		c.NoiseFrac = 0
+	} else if c.NoiseFrac == 0 {
 		c.NoiseFrac = 0.05
 	}
 	if c.MaxTime <= 0 {
@@ -600,11 +606,13 @@ func (c *Cluster) result() Result {
 	}
 	res.Summary = metrics.Summarize(res.Records)
 	res.PerModel = make(map[string]metrics.Summary, len(perModel))
+	//pollux:order-ok keyed write per model name; Summarize is a pure function of recs
 	for name, recs := range perModel {
 		res.PerModel[name] = metrics.Summarize(recs)
 	}
 	res.PerTenant = metrics.SummarizeTenants(res.Records)
 	feStats := c.fe.Stats()
+	//pollux:order-ok each iteration fills only its own tenant's summary; Rounds is a pure accessor
 	for tenant, ts := range res.PerTenant {
 		if st, ok := feStats[tenant]; ok {
 			ts.Submitted = st.Submitted

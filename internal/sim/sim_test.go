@@ -127,6 +127,7 @@ func TestRestartDelayPausesProgress(t *testing.T) {
 	}
 	c.advance(cfg.Tick)
 	for _, j := range c.active() {
+		//pollux:floateq-ok progress must be left untouched during the restart pause; any change is a real bug
 		if j.progress != before[j.wj.ID] {
 			t.Errorf("job %d progressed during restart delay", j.wj.ID)
 		}

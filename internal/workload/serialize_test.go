@@ -18,6 +18,7 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//pollux:floateq-ok JSON round trip must hand the duration back verbatim (Go prints the shortest exact float)
 	if back.Duration != orig.Duration {
 		t.Errorf("duration = %v, want %v", back.Duration, orig.Duration)
 	}
