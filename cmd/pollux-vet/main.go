@@ -1,14 +1,24 @@
 // Command pollux-vet is the repo's custom vet multichecker: it runs the
-// internal/lint analyzers (detmap, wallclock, rngshare, zerodefault,
-// floateq) that mechanically enforce the determinism, clock, and
-// option-pattern invariants the exhibit baselines rest on.
+// internal/lint analyzers that mechanically enforce the determinism,
+// clock, and option-pattern invariants the exhibit baselines rest on.
+//
+// Five analyzers are package-local — detmap, wallclock, rngshare,
+// zerodefault, floateq — and three are interprocedural, exchanging
+// serialized facts across package boundaries through the unitchecker
+// protocol's .vetx files: clocktaint (transitive wall-clock/global-rand
+// reach), rngescape (*rand.Rand parameters that reach another
+// goroutine), and aliasret (mutex-guarded map/slice/pointer fields
+// returned without a copy). The driver also reports stale //pollux:
+// directives that no longer suppress anything.
 //
 // CI runs it as
 //
 //	go build -o bin/pollux-vet ./cmd/pollux-vet
 //	go vet -vettool=bin/pollux-vet ./...
 //
-// and `pollux-vet ./...` is shorthand for the same. See
+// and `pollux-vet ./...` is shorthand for the same; `pollux-vet -json
+// ./...` emits one {"pkgID": {"analyzer": [{posn, message}]}} JSON
+// object per compilation unit on stdout for machine consumers. See
 // docs/architecture.md, "Determinism invariants and lint".
 package main
 

@@ -99,6 +99,7 @@ func (s *Service) SetFrontEnd(fe *admit.FrontEnd) {
 func (s *Service) FrontEnd() *admit.FrontEnd {
 	s.schedMu.Lock()
 	defer s.schedMu.Unlock()
+	//pollux:aliasret-ok the FrontEnd handle is shared by design: SetFrontEnd installs it once before traffic and FrontEnd carries its own internal synchronization
 	return s.fe
 }
 

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AliasRet enforces the deep-copy discipline on mutex-guarded state: a
+// struct that carries a sync.Mutex/RWMutex guards its map, slice, and
+// pointer fields, and handing such a field out uncopied leaks guarded
+// state past the lock — the caller can then read or mutate it while no
+// lock is held.
+//
+// Guarded fields are object facts (GuardedFieldFact), so an accessor in
+// another package that resolves the struct through export data is
+// checked too. Two shapes are flagged:
+//
+//   - returning a guarded field directly (`return s.placed`) — the copy
+//     idioms (`append([]T(nil), s.f...)`, make+copy) are calls, not
+//     field selectors, and pass untouched;
+//   - re-storing an uncopied row while ranging a guarded field
+//     (`for job, row := range s.placed { placed[job] = row }`) — the
+//     exact shallow-copy bug PR 7 fixed by hand in cluster.Snapshot:
+//     the outer container is fresh but every row still aliases guarded
+//     memory.
+//
+// The analyzer is deliberately field-grained and conservative: it does
+// not prove which mutex guards which field (a struct with any mutex
+// marks all its alias-typed fields), so an intentionally shared handle
+// — a field that is itself synchronized, or immutable after
+// construction — is justified in place with //pollux:aliasret-ok, and
+// the justification documents the sharing contract.
+var AliasRet = &Analyzer{
+	Name:      "aliasret",
+	Doc:       "flags returning (or re-storing a row of) a map/slice/pointer field of a mutex-guarded struct without a copy (cross-package facts; the cluster.Snapshot shallow-row discipline)",
+	Directive: "aliasret-ok",
+	Run:       runAliasRet,
+}
+
+// GuardedFieldFact marks field Field of struct type Struct as guarded by
+// the struct's mutex field Guard.
+type GuardedFieldFact struct {
+	Struct string
+	Field  string
+	Guard  string
+}
+
+// AFact marks GuardedFieldFact as a fact type.
+func (*GuardedFieldFact) AFact() {}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// aliasType reports whether t is a type whose value aliases backing
+// store: map, slice, or pointer (interfaces, channels, and funcs are
+// left out — sharing those is a synchronization contract of its own).
+func aliasType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func runAliasRet(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1: export guarded-field facts for every mutex-carrying named
+	// struct type declared in this package.
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				guard := ""
+				for i := 0; i < st.NumFields(); i++ {
+					if isSyncMutex(st.Field(i).Type()) {
+						guard = st.Field(i).Name()
+						break
+					}
+				}
+				if guard == "" {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if !isSyncMutex(fld.Type()) && aliasType(fld.Type()) {
+						pass.ExportFieldFact(obj.Name(), fld.Name(), &GuardedFieldFact{
+							Struct: obj.Name(),
+							Field:  fld.Name(),
+							Guard:  guard,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// guardedSel resolves a selector to a guarded field's fact.
+	guardedSel := func(sel *ast.SelectorExpr) (*GuardedFieldFact, string) {
+		fieldVar, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fieldVar.IsField() {
+			return nil, ""
+		}
+		owner := fieldOwner(info, sel, fieldVar)
+		if owner == nil {
+			return nil, ""
+		}
+		var fact GuardedFieldFact
+		if pass.FieldFact(owner.Obj().Pkg(), owner.Obj().Name(), fieldVar.Name(), &fact) {
+			display := owner.Obj().Name() + "." + fieldVar.Name()
+			if owner.Obj().Pkg() != nil && owner.Obj().Pkg() != pass.Pkg {
+				display = owner.Obj().Pkg().Name() + "." + display
+			}
+			return &fact, display
+		}
+		return nil, ""
+	}
+
+	// Phase 2: flag direct returns and aliased row re-stores.
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fact, display := guardedSel(sel)
+					if fact == nil || pass.exempt(sel.Pos(), "aliasret-ok") {
+						continue
+					}
+					pass.Reportf(sel.Pos(), "returning mutex-guarded field %s (guarded by %q) without a copy: the caller holds an alias it can use outside the lock — return a copy (or justify with //pollux:aliasret-ok <reason>)", display, fact.Guard)
+				}
+			case *ast.RangeStmt:
+				checkGuardedRange(pass, n, guardedSel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGuardedRange flags `for k, row := range s.guarded { dst[k] = row }`
+// — storing an uncopied row of a guarded container into anything not
+// rooted at the guarded struct itself.
+func checkGuardedRange(pass *Pass, rs *ast.RangeStmt, guardedSel func(*ast.SelectorExpr) (*GuardedFieldFact, string)) {
+	info := pass.TypesInfo
+	sel, ok := ast.Unparen(rs.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fact, display := guardedSel(sel)
+	if fact == nil {
+		return
+	}
+	valID, ok := rs.Value.(*ast.Ident)
+	if !ok || valID.Name == "_" {
+		return
+	}
+	valObj := info.ObjectOf(valID)
+	if valObj == nil || !aliasType(valObj.Type()) {
+		return
+	}
+	recvRoot := rootIdent(sel)
+	var recvObj types.Object
+	if recvRoot != nil {
+		recvObj = info.ObjectOf(recvRoot)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok || info.ObjectOf(id) != valObj {
+				continue
+			}
+			lhsRoot := rootIdent(as.Lhs[i])
+			if lhsRoot != nil && recvObj != nil && info.ObjectOf(lhsRoot) == recvObj {
+				continue // re-store inside the same guarded struct
+			}
+			if pass.exempt(rhs.Pos(), "aliasret-ok") {
+				continue
+			}
+			pass.Reportf(rhs.Pos(), "storing %q uncopied while ranging mutex-guarded field %s: every stored row still aliases guarded memory (the cluster.Snapshot shallow-copy bug) — copy the row first, e.g. append([]T(nil), %s...) (or justify with //pollux:aliasret-ok <reason>)", valID.Name, display, valID.Name)
+		}
+		return true
+	})
+}
+
+// fieldOwner finds the named struct type that declares fieldVar,
+// starting from the selector's receiver type and descending through
+// embedded structs (field promotion).
+func fieldOwner(info *types.Info, sel *ast.SelectorExpr, fieldVar *types.Var) *types.Named {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	var search func(t types.Type, depth int) *types.Named
+	search = func(t types.Type, depth int) *types.Named {
+		if depth > 10 {
+			return nil
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			if ptr, ok := t.(*types.Pointer); ok {
+				named, _ = ptr.Elem().(*types.Named)
+			}
+			if named == nil {
+				return nil
+			}
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fieldVar {
+				return named
+			}
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if !st.Field(i).Embedded() {
+				continue
+			}
+			if owner := search(st.Field(i).Type(), depth+1); owner != nil {
+				return owner
+			}
+		}
+		return nil
+	}
+	return search(t, 0)
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ClockTaint is the interprocedural closure of WallClock: a function
+// fact "transitively reaches the wall clock or global math/rand",
+// propagated bottom-up through the import DAG via .vetx facts.
+//
+// WallClock only sees a *direct* time.Now at the call site, so a
+// one-line helper in a non-critical package —
+//
+//	package metrics
+//	func Stamp() int64 { return time.Now().Unix() }
+//
+// — called from internal/sim escapes it entirely. ClockTaint marks
+// Stamp tainted when metrics is analyzed, serializes the fact, and flags
+// the sim call site when sim (analyzed later: the unitchecker protocol
+// visits dependencies first) resolves Stamp through export data. Taint
+// composes through any number of helper hops and through methods on
+// named types; it does not flow through interface calls (the concrete
+// callee is unknowable modularly) or function values — eventsim.Clock
+// is exactly such an interface, which is also why the sanctioned Wall
+// clock never leaks taint into its callers.
+//
+// Roots are the WallClock lists: the wall-reading time functions and
+// package-level math/rand draws (seeded-rng constructors and methods on
+// an owned *rand.Rand stay clean). eventsim's clock.go keeps the same
+// allowlist carve-out as WallClock — the Wall clock implementation is
+// wall-clock by design and must not taint Drive loops. A site justified
+// with //pollux:clocktaint-ok (or an existing //pollux:wallclock-ok)
+// neither propagates taint nor reports.
+var ClockTaint = &Analyzer{
+	Name:      "clocktaint",
+	Doc:       "flags calls from determinism-critical packages to functions that transitively reach time.Now/Sleep/... or global math/rand in any package (cross-package facts; subsumes wallclock's local check)",
+	Directive: "clocktaint-ok",
+	Run:       runClockTaint,
+}
+
+// ClockTaintFact marks a function that transitively reaches a wall-clock
+// or global-rand root. Path is the call chain from the function's first
+// tainted callee down to the root, e.g. ["clockutil.NowUnix", "time.Now"].
+type ClockTaintFact struct {
+	Path []string
+}
+
+// AFact marks ClockTaintFact as a fact type.
+func (*ClockTaintFact) AFact() {}
+
+// clockRoot returns the display name of a wall-clock/global-rand root
+// function, or "" if fn is not a root.
+func clockRoot(fn *types.Func) string {
+	// Exported package-level functions only: unexported stdlib internals
+	// (rand.newSource and friends) are reachable only from inside their
+	// own package and must not read as roots if stdlib source is ever
+	// analyzed.
+	if fn.Pkg() == nil || !fn.Exported() || fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	switch pkg := fn.Pkg().Path(); {
+	case pkg == "time" && wallClockFuncs[fn.Name()]:
+		return "time." + fn.Name()
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && !strings.HasPrefix(fn.Name(), "New"):
+		return "rand." + fn.Name()
+	}
+	return ""
+}
+
+// clockAllowed reports whether f is the eventsim clock.go allowlist file
+// (shared carve-out with WallClock).
+func clockAllowed(pass *Pass, f *ast.File) bool {
+	fname := pass.Fset.File(f.Pos()).Name()
+	return filepath.Base(fname) == "clock.go" && strings.HasSuffix(pass.Pkg.Path(), "eventsim")
+}
+
+// funcDisplay renders fn for diagnostics: pkg.Func or pkg.(Recv).Method.
+func funcDisplay(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			return fmt.Sprintf("%s(%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}
+
+func runClockTaint(pass *Pass) error {
+	// Function declarations in source order (files then position), the
+	// deterministic spine of the fixpoint: the first tainted use found in
+	// that order names the fact's chain.
+	type fnDecl struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+	}
+	var fns []fnDecl
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) || clockAllowed(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnDecl{fd, obj})
+			}
+		}
+	}
+
+	tainted := map[*types.Func]*ClockTaintFact{}
+	// taintOf resolves local fixpoint state first, then exported/imported
+	// facts — one lookup path for callees in any package.
+	taintOf := func(fn *types.Func) *ClockTaintFact {
+		if f, ok := tainted[fn]; ok {
+			return f
+		}
+		var fact ClockTaintFact
+		if pass.FuncFact(fn, &fact) {
+			return &fact
+		}
+		return nil
+	}
+	// firstTaint scans body in position order for the first use of a root
+	// or an already-tainted function that is not justified away.
+	firstTaint := func(body *ast.BlockStmt) *ClockTaintFact {
+		var found *ClockTaintFact
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if root := clockRoot(fn); root != "" {
+				if pass.exempt(id.Pos(), "clocktaint-ok") || pass.exemptQuiet(id.Pos(), "wallclock-ok") {
+					return true
+				}
+				found = &ClockTaintFact{Path: []string{root}}
+				return false
+			}
+			if t := taintOf(fn); t != nil {
+				if pass.exempt(id.Pos(), "clocktaint-ok") || pass.exemptQuiet(id.Pos(), "wallclock-ok") {
+					return true
+				}
+				found = &ClockTaintFact{Path: append([]string{funcDisplay(fn)}, t.Path...)}
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			if tainted[fd.obj] != nil {
+				continue
+			}
+			if fact := firstTaint(fd.decl.Body); fact != nil {
+				tainted[fd.obj] = fact
+				pass.ExportFuncFact(fd.obj, fact)
+				changed = true
+			}
+		}
+	}
+
+	// Diagnostics only in determinism-critical packages, and only for
+	// uses of tainted *functions* — direct root uses are WallClock's.
+	if !critical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) || clockAllowed(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || clockRoot(fn) != "" {
+				return true
+			}
+			t := taintOf(fn)
+			if t == nil {
+				return true
+			}
+			if pass.exempt(id.Pos(), "clocktaint-ok") || pass.exemptQuiet(id.Pos(), "wallclock-ok") {
+				return true
+			}
+			chain := strings.Join(append([]string{funcDisplay(fn)}, t.Path...), " → ")
+			pass.Reportf(id.Pos(), "%s transitively reaches %s in determinism-critical package %s (%s): route time through eventsim.Clock and randomness through a seeded *rand.Rand (or justify with //pollux:clocktaint-ok <reason>)", funcDisplay(fn), t.Path[len(t.Path)-1], pass.Pkg.Name(), chain)
+			return true
+		})
+	}
+	return nil
+}

@@ -49,11 +49,14 @@ func runDetMap(pass *Pass) error {
 				if !ok || !isMapRange(pass.TypesInfo, rs) {
 					continue
 				}
-				if pass.exempt(rs.Pos(), "order-ok") {
+				d := &detmapLoop{pass: pass, rs: rs}
+				// Clean loops pass before the directive is consulted, so an
+				// //pollux:order-ok over a loop that no longer needs it reads
+				// as unused and the stale-directive check reports it.
+				if d.orderInsensitive(rs.Body.List) && d.appendsSorted(list[i+1:]) {
 					continue
 				}
-				d := &detmapLoop{pass: pass, rs: rs}
-				if d.orderInsensitive(rs.Body.List) && d.appendsSorted(list[i+1:]) {
+				if pass.exempt(rs.Pos(), "order-ok") {
 					continue
 				}
 				pass.Reportf(rs.Pos(), "range over map in determinism-critical package %s: iteration order is random; sort a key slice first, restructure the body to be order-insensitive, or justify with //pollux:order-ok <reason>", pass.Pkg.Name())

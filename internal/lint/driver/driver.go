@@ -9,15 +9,31 @@
 //	                       JSON config the go command wrote
 //
 // plus a convenience mode: `pollux-vet ./...` re-execs `go vet
-// -vettool=$0 ./...` so the tool is also directly runnable.
+// -vettool=$0 ./...` so the tool is also directly runnable (flags such
+// as -json are forwarded).
 //
-// The analyzers carry no cross-package facts, so the fact (.vetx) files
-// the protocol requires are written empty and never read, and VetxOnly
-// invocations (dependencies analyzed only for facts) return immediately
-// — stdlib dependencies cost nothing.
+// The interprocedural analyzers exchange facts through the `.vetx`
+// files the protocol plumbs: each unit decodes every dependency's fact
+// table (cfg.PackageVetx) before analysis and serializes its own
+// exported facts to cfg.VetxOutput after (lint.EncodeFacts — a
+// deterministic encoding, so the go command's action cache stays
+// stable). A missing or corrupt dependency fact file is a fatal driver
+// error, never a silent empty table: diagnostics depend on those facts.
+// VetxOnly units (dependencies vetted only for their facts) are fully
+// analyzed with diagnostics suppressed — except standard-library units,
+// which can never export pollux facts (the analyzers recognize their
+// roots syntactically) and return an empty table immediately.
+//
+// After the per-analyzer passes, the driver reports stale directives:
+// any //pollux: comment naming an unknown directive, or one whose
+// analyzer ran and suppressed nothing through it (group name
+// "staledirective"). Test-augmented units (ImportPath like "p [p.test]")
+// skip this check — the determinism analyzers deliberately ignore
+// _test.go files, so directive use there is not meaningful.
 package driver
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -34,6 +50,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -46,6 +63,7 @@ type config struct {
 	Compiler                  string
 	Dir                       string
 	ImportPath                string
+	ModulePath                string
 	GoVersion                 string
 	GoFiles                   []string
 	NonGoFiles                []string
@@ -115,18 +133,61 @@ Usage:
 
 	// Package patterns: re-exec through go vet, which knows how to load
 	// and typecheck packages and call us back per compilation unit.
+	// Tool flags the user set are forwarded (go vet hands them back to us
+	// on each per-unit invocation).
 	self, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if *jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	names := make([]string, 0, len(enabled))
+	for name := range enabled {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if ts := *enabled[name]; ts != unset {
+			vetArgs = append(vetArgs, fmt.Sprintf("-%s=%v", name, ts == setTrue))
+		}
+	}
+	cmd := exec.Command("go", append(vetArgs, args...)...)
 	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+	if !*jsonOut {
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// In -json mode the go command interleaves the per-unit JSON our .cfg
+	// invocations print with "# <package>" progress headers, all on its
+	// stderr. Machine readers want a clean JSON stream: keep the headers
+	// on stderr and forward everything else to stdout.
+	var vetStderr bytes.Buffer
+	cmd.Stderr = &vetStderr
+	runErr := cmd.Run()
+	for _, line := range strings.Split(strings.TrimRight(vetStderr.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fmt.Fprintln(os.Stderr, line)
+		} else {
+			fmt.Fprintln(os.Stdout, line)
+		}
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
 		}
-		log.Fatal(err)
+		log.Fatal(runErr)
 	}
 }
 
@@ -165,28 +226,44 @@ func runConfig(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) {
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
 
-	// The protocol requires a fact file per unit even though these
-	// analyzers produce no facts.
-	writeVetx := func() {
+	writeVetx := func(data []byte) {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 				log.Fatalf("failed to write facts: %v", err)
 			}
 		}
 	}
-	if cfg.VetxOnly {
-		writeVetx()
+	// Standard-library units can never carry pollux facts: the analyzers
+	// recognize their roots (time.Now, rand.Int, ...) syntactically at the
+	// call site, and tainting through stdlib internals would misclassify
+	// sanctioned entry points (rand.NewSource reaches the generator's
+	// internals by construction). Stdlib units are the ones outside any
+	// module (cfg.Standard only marks the unit's dependencies, never the
+	// unit itself) and are only ever vetted for facts — skip the
+	// parse/typecheck entirely and publish an empty table.
+	if cfg.VetxOnly && cfg.ModulePath == "" {
+		writeVetx(nil)
 		os.Exit(0)
 	}
 
 	fset := token.NewFileSet()
-	diags, err := analyze(fset, cfg, analyzers)
-	writeVetx()
+	diags, facts, err := analyze(fset, cfg, analyzers)
 	if err != nil {
+		writeVetx(nil)
 		if cfg.SucceedOnTypecheckFailure {
 			os.Exit(0) // the compiler will report the real error
 		}
 		log.Fatal(err)
+	}
+	factData, err := lint.EncodeFacts(facts.Exported())
+	if err != nil {
+		log.Fatalf("encoding facts for %s: %v", cfg.ImportPath, err)
+	}
+	writeVetx(factData)
+	if cfg.VetxOnly {
+		// A dependency vetted only for its facts: diagnostics are the
+		// target packages' business.
+		os.Exit(0)
 	}
 
 	if jsonOut {
@@ -208,15 +285,49 @@ type analyzerDiags struct {
 	diags []lint.Diagnostic
 }
 
+// importDepFacts decodes every dependency's .vetx fact table into a
+// fresh store for the unit. Any unreadable or corrupt fact file is an
+// error: silently analyzing without a dependency's facts would make
+// findings appear and disappear with build-cache state.
+func importDepFacts(cfg *config) (*lint.Facts, error) {
+	facts := lint.NewFacts(cfg.ImportPath)
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for importPath := range cfg.PackageVetx {
+		paths = append(paths, importPath)
+	}
+	sort.Strings(paths)
+	for _, importPath := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[importPath])
+		if err != nil {
+			return nil, fmt.Errorf("reading fact file for dependency %q: %v (stale go vet action cache? try go clean -cache)", importPath, err)
+		}
+		table, err := lint.DecodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("fact file for dependency %q: %v", importPath, err)
+		}
+		// Facts are looked up by the canonical package path objects report
+		// (types.Package.Path), which for vendored/mapped imports is the
+		// ImportMap target, not the source import path.
+		pkgPath := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			pkgPath = mapped
+		}
+		facts.AddImported(pkgPath, table)
+	}
+	return facts, nil
+}
+
 // analyze parses and typechecks the unit (types of dependencies come
 // from the compiler export data the go command lists in cfg) and runs
-// the analyzers over it.
-func analyze(fset *token.FileSet, cfg *config, analyzers []*lint.Analyzer) ([]analyzerDiags, error) {
+// the analyzers over it, sharing one fact store and one directive
+// registry across them. The returned store holds the unit's exported
+// facts for serialization.
+func analyze(fset *token.FileSet, cfg *config, analyzers []*lint.Analyzer) ([]analyzerDiags, *lint.Facts, error) {
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -255,8 +366,14 @@ func analyze(fset *token.FileSet, cfg *config, analyzers []*lint.Analyzer) ([]an
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+
+	facts, err := importDepFacts(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs := lint.ScanDirectives(fset, files)
 
 	var results []analyzerDiags
 	for _, a := range analyzers {
@@ -267,14 +384,26 @@ func analyze(fset *token.FileSet, cfg *config, analyzers []*lint.Analyzer) ([]an
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
+			Dirs:      dirs,
 		}
 		pass.Report = func(d lint.Diagnostic) { res.diags = append(res.diags, d) }
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 		results = append(results, res)
 	}
-	return results, nil
+
+	// Stale-directive findings ride in their own group. Test-augmented
+	// units re-analyze the base package's files with a different critical()
+	// outcome (the ImportPath gains a " [p.test]" suffix), so every
+	// directive would read unused there — skip those units.
+	if !strings.Contains(cfg.ImportPath, " [") {
+		if stale := lint.StaleDirectives(dirs, analyzers, lint.All()); len(stale) > 0 {
+			results = append(results, analyzerDiags{name: "staledirective", diags: stale})
+		}
+	}
+	return results, facts, nil
 }
 
 // printJSON emits the diagnostic tree go vet -json expects:

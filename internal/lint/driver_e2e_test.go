@@ -1,0 +1,225 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The end-to-end driver tests build a throwaway module and run the
+// shared pollux-vet binary over it through the real `go vet` protocol:
+// facts must travel dependency→dependent through the .vetx files the go
+// command plumbs, not through any in-process shortcut.
+
+// writeTree writes a file tree under a fresh temp dir and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// e2eModule is a two-package module where the critical package reaches
+// time.Now only through a non-critical helper package — invisible to
+// any per-package analysis, visible through facts.
+func e2eModule(t *testing.T) string {
+	t.Helper()
+	return writeTree(t, map[string]string{
+		"go.mod": "module polluxe2e\n\ngo 1.22\n",
+		"helper/helper.go": `// Package helper is not determinism-critical.
+package helper
+
+import "time"
+
+// NowUnix reaches the wall clock.
+func NowUnix() int64 { return time.Now().Unix() }
+
+// Add is clean.
+func Add(a, b int64) int64 { return a + b }
+`,
+		"sim/sim.go": `// Package sim is determinism-critical (matched by path base).
+package sim
+
+import "polluxe2e/helper"
+
+// Tick reaches time.Now only through the helper package.
+func Tick() int64 { return helper.NowUnix() }
+
+// Sum stays clean.
+func Sum(a, b int64) int64 { return helper.Add(a, b) }
+`,
+	})
+}
+
+func runVet(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + vetBinary(t)}, args...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestFactsAcrossPackagesE2E is the tentpole's acceptance test: vetting
+// the whole module flags the critical call site whose wall-clock reach
+// lives entirely in another package.
+func TestFactsAcrossPackagesE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e vet run skipped in -short mode")
+	}
+	dir := e2eModule(t)
+	out, err := runVet(t, dir, "./...")
+	if err == nil {
+		t.Fatalf("expected violations, got clean run:\n%s", out)
+	}
+	if !strings.Contains(out, "helper.NowUnix transitively reaches time.Now in determinism-critical package sim") {
+		t.Errorf("missing cross-package clocktaint diagnostic in output:\n%s", out)
+	}
+	if strings.Contains(out, "Sum") || strings.Contains(out, "helper.Add") {
+		t.Errorf("clean helper flagged:\n%s", out)
+	}
+}
+
+// TestVetxOnlyDependencyE2E vets only the critical package: the helper
+// is then a VetxOnly unit, so the diagnostic exists only if VetxOnly
+// units are really analyzed for facts (and their own findings stay
+// suppressed).
+func TestVetxOnlyDependencyE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e vet run skipped in -short mode")
+	}
+	dir := e2eModule(t)
+	out, err := runVet(t, dir, "./sim")
+	if err == nil {
+		t.Fatalf("expected violations, got clean run:\n%s", out)
+	}
+	if !strings.Contains(out, "helper.NowUnix transitively reaches time.Now") {
+		t.Errorf("missing clocktaint diagnostic when dependency is VetxOnly:\n%s", out)
+	}
+	if strings.Contains(out, "helper/helper.go") {
+		t.Errorf("VetxOnly unit leaked its own diagnostics:\n%s", out)
+	}
+}
+
+// TestJSONOutputE2E runs the convenience mode with -json: machine
+// readers get one {"pkgID": {"analyzer": [{posn, message}]}} object per
+// unit on stdout and a zero exit (diagnostics are data, not failure).
+func TestJSONOutputE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e vet run skipped in -short mode")
+	}
+	dir := e2eModule(t)
+	cmd := exec.Command(vetBinary(t), "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("pollux-vet -json: %v\n%s", err, out)
+	}
+
+	// go vet concatenates per-unit JSON objects; decode them all and
+	// flatten to analyzer→diagnostics.
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	found := map[string][]jsonDiag{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var unit map[string]map[string][]jsonDiag
+		if err := dec.Decode(&unit); err != nil {
+			t.Fatalf("decoding -json output: %v\noutput:\n%s", err, out)
+		}
+		for _, byAnalyzer := range unit {
+			for name, diags := range byAnalyzer {
+				found[name] = append(found[name], diags...)
+			}
+		}
+	}
+	diags := found["clocktaint"]
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 clocktaint JSON diagnostic, got %d (%v)", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "helper.NowUnix transitively reaches time.Now") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+	if !strings.Contains(diags[0].Posn, filepath.Join("sim", "sim.go")) {
+		t.Errorf("diagnostic position %q does not point at sim/sim.go", diags[0].Posn)
+	}
+}
+
+// TestMissingAndCorruptVetxE2E drives the .cfg entry point directly
+// with broken dependency fact files: the driver must die loudly, never
+// analyze with silently missing facts.
+func TestMissingAndCorruptVetxE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e vet run skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name    string
+		prep    func(t *testing.T, dir string) string // returns vetx path
+		wantErr string
+	}{
+		{
+			name:    "missing",
+			prep:    func(t *testing.T, dir string) string { return filepath.Join(dir, "nonexistent.vetx") },
+			wantErr: "reading fact file for dependency",
+		},
+		{
+			name: "corrupt",
+			prep: func(t *testing.T, dir string) string {
+				p := filepath.Join(dir, "dep.vetx")
+				if err := os.WriteFile(p, []byte("not a gob stream"), 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			wantErr: "fact file for dependency",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			src := filepath.Join(dir, "p.go")
+			if err := os.WriteFile(src, []byte("package p\n\nfunc F() int { return 1 }\n"), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			cfg := map[string]interface{}{
+				"ID":          "p",
+				"Compiler":    "gc",
+				"Dir":         dir,
+				"ImportPath":  "p",
+				"ModulePath":  "m",
+				"GoVersion":   "go1.22",
+				"GoFiles":     []string{src},
+				"ImportMap":   map[string]string{},
+				"PackageFile": map[string]string{},
+				"PackageVetx": map[string]string{"dep": tc.prep(t, dir)},
+				"VetxOutput":  filepath.Join(dir, "out.vetx"),
+			}
+			data, err := json.Marshal(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgFile := filepath.Join(dir, "unit.cfg")
+			if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Command(vetBinary(t), cfgFile).CombinedOutput()
+			if err == nil {
+				t.Fatalf("driver succeeded with a broken dependency fact file:\n%s", out)
+			}
+			if !strings.Contains(string(out), tc.wantErr) {
+				t.Errorf("error output %q does not mention %q", out, tc.wantErr)
+			}
+		})
+	}
+}

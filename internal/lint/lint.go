@@ -22,6 +22,22 @@
 //   - floateq: ==/!= on floats, except exact-representable constants and
 //     the x != x NaN idiom.
 //
+// Three analyzers are interprocedural: they exchange serialized facts
+// across package boundaries through the .vetx files of the unitchecker
+// protocol (see facts.go), so a violation hidden behind a helper in
+// another package is still found:
+//
+//   - clocktaint: a call from a determinism-critical package to any
+//     function that transitively reaches time.Now/Sleep/... or a global
+//     math/rand draw — in any package, at any depth — is flagged. This
+//     closes the gap wallclock (purely local) cannot see.
+//   - rngescape: a *rand.Rand passed to a function whose parameter is —
+//     transitively — handed to another goroutine is flagged at the call
+//     site; parameters that merely retain the rng are recorded as facts.
+//   - aliasret: fields of map/slice/pointer type in a mutex-guarded
+//     struct are facts; returning (or re-storing a row of) such a field
+//     without a copy leaks guarded state past the lock.
+//
 // A finding is suppressed by a justification comment on the flagged line
 // or the line above:
 //
@@ -29,7 +45,9 @@
 //
 // where <directive> is the analyzer's directive name (order-ok for
 // detmap, otherwise <name>-ok) and <reason> is mandatory prose recorded
-// for the next reader. A directive with no reason is itself a finding.
+// for the next reader. A directive with no reason is itself a finding,
+// and so is a stale directive that no longer suppresses anything (the
+// driver checks directive use across the whole analyzer suite).
 package lint
 
 import (
@@ -68,7 +86,14 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	directives map[string]map[int]*directive // filename → line → directive
+	// Facts is the unit's cross-package fact store (see facts.go). The
+	// driver populates it with every dependency's decoded .vetx table;
+	// nil means a local-only store is created on first use.
+	Facts *Facts
+	// Dirs is the unit's //pollux: directive registry, shared across the
+	// analyzers run over the unit so StaleDirectives sees every use; nil
+	// means the pass scans its own files on first use.
+	Dirs *Directives
 }
 
 // Reportf records a finding at pos.
@@ -84,6 +109,9 @@ func All() []*Analyzer {
 		RngShare,
 		ZeroDefault,
 		FloatEq,
+		ClockTaint,
+		RngEscape,
+		AliasRet,
 	}
 }
 
@@ -113,57 +141,6 @@ func critical(pkgPath string) bool {
 // isTestFile reports whether pos is inside a _test.go file.
 func (p *Pass) isTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
-}
-
-// A directive is one //pollux:<name> <reason> justification comment.
-type directive struct {
-	name   string
-	reason string
-}
-
-const directivePrefix = "pollux:"
-
-// exempt reports whether the finding at pos is suppressed by a
-// //pollux:<name> directive on the same line or the line above. A
-// directive that matches but carries no reason does not suppress —
-// instead the missing reason is reported, so the tree cannot go clean on
-// bare annotations.
-func (p *Pass) exempt(pos token.Pos, name string) bool {
-	if p.directives == nil {
-		p.directives = map[string]map[int]*directive{}
-		for _, f := range p.Files {
-			fname := p.Fset.File(f.Pos()).Name()
-			byLine := map[int]*directive{}
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
-					if !ok {
-						continue
-					}
-					dname, reason, _ := strings.Cut(text, " ")
-					byLine[p.Fset.Position(c.Pos()).Line] = &directive{
-						name:   dname,
-						reason: strings.TrimSpace(reason),
-					}
-				}
-			}
-			p.directives[fname] = byLine
-		}
-	}
-	posn := p.Fset.Position(pos)
-	byLine := p.directives[posn.Filename]
-	for _, line := range []int{posn.Line, posn.Line - 1} {
-		d := byLine[line]
-		if d == nil || d.name != name {
-			continue
-		}
-		if d.reason == "" {
-			p.Reportf(pos, "//%s%s needs a reason: say why this site is safe", directivePrefix, name)
-			return true
-		}
-		return true
-	}
-	return false
 }
 
 // funcPkg resolves a call or value use of a package-level function and

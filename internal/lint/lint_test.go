@@ -31,3 +31,27 @@ func TestZeroDefault(t *testing.T) {
 func TestFloatEq(t *testing.T) {
 	linttest.Run(t, lint.FloatEq, "floateq")
 }
+
+// The interprocedural analyzers: linttest runs the analyzer over each
+// fixture package's fixture dependencies first, so the wants below
+// assert on diagnostics that only exist because of imported facts.
+
+func TestClockTaint(t *testing.T) {
+	linttest.Run(t, lint.ClockTaint, "sched")
+}
+
+func TestRngEscape(t *testing.T) {
+	linttest.Run(t, lint.RngEscape, "rngescape")
+}
+
+func TestAliasRet(t *testing.T) {
+	linttest.Run(t, lint.AliasRet, "aliasstate", "aliasret")
+}
+
+// TestStaleDirectives covers directive hygiene end to end: stale,
+// unknown, and reasonless directives in one critical fixture package
+// (linttest appends the stale check for the analyzer under test after
+// its pass, like the driver does per unit).
+func TestStaleDirectives(t *testing.T) {
+	linttest.Run(t, lint.DetMap, "workload")
+}

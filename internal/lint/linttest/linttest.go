@@ -15,6 +15,17 @@
 // Fixture packages may import the standard library and sibling fixture
 // packages (import path = directory name under testdata/src); both are
 // typechecked from source, so no build cache or module proxy is needed.
+//
+// Facts flow like they do under the real driver: before a fixture
+// package is checked, the analyzer is first run over its fixture
+// dependencies (bottom-up, diagnostics discarded) and their exported
+// fact tables are installed in the target pass — so a // want in a
+// fixture can assert on a diagnostic that only exists because of a fact
+// imported from another fixture package.
+//
+// After the analyzer runs, stale-directive findings for the analyzer
+// under test (plus unknown-directive findings) are matched against
+// // want comments too, mirroring the driver's end-of-unit check.
 package linttest
 
 import (
@@ -35,15 +46,53 @@ import (
 )
 
 // Run analyzes each fixture package under testdata/src with a and
-// reports mismatches against the // want annotations.
+// reports mismatches against the // want annotations. Fixture
+// dependencies are analyzed first (facts only), and the stale-directive
+// check runs for a's directive after the analyzer pass.
 func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld := newLoader(t)
+
+	// tables caches each fixture package's exported facts so shared
+	// dependencies are analyzed once per Run.
+	tables := map[string]map[string][]lint.Fact{}
+	var factsFor func(t *testing.T, pkgPath string) map[string][]lint.Fact
+	factsFor = func(t *testing.T, pkgPath string) map[string][]lint.Fact {
+		t.Helper()
+		if tbl, ok := tables[pkgPath]; ok {
+			return tbl
+		}
+		pkg := ld.load(t, pkgPath)
+		facts := lint.NewFacts(pkgPath)
+		for _, dep := range pkg.deps {
+			facts.AddImported(dep, factsFor(t, dep))
+		}
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Facts:     facts,
+			Report:    func(lint.Diagnostic) {}, // deps carry no wants
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s failed on dependency %s: %v", a.Name, pkgPath, err)
+		}
+		tables[pkgPath] = facts.Exported()
+		return tables[pkgPath]
+	}
+
 	for _, pkgPath := range pkgPaths {
 		t.Run(a.Name+"/"+pkgPath, func(t *testing.T) {
 			t.Helper()
 			pkg := ld.load(t, pkgPath)
 
+			facts := lint.NewFacts(pkgPath)
+			for _, dep := range pkg.deps {
+				facts.AddImported(dep, factsFor(t, dep))
+			}
+			dirs := lint.ScanDirectives(ld.fset, pkg.files)
 			var diags []lint.Diagnostic
 			pass := &lint.Pass{
 				Analyzer:  a,
@@ -51,11 +100,15 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 				Files:     pkg.files,
 				Pkg:       pkg.types,
 				TypesInfo: pkg.info,
+				Facts:     facts,
+				Dirs:      dirs,
 				Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				t.Fatalf("analyzer %s failed: %v", a.Name, err)
 			}
+			diags = append(diags, lint.StaleDirectives(dirs, []*lint.Analyzer{a}, lint.All())...)
+			tables[pkgPath] = facts.Exported()
 			check(t, ld.fset, pkg, diags)
 		})
 	}
@@ -65,6 +118,7 @@ type fixturePkg struct {
 	files []*ast.File
 	types *types.Package
 	info  *types.Info
+	deps  []string                   // fixture-local imports, in first-use order
 	wants map[string]map[int][]*want // filename → line → wants
 }
 
@@ -170,7 +224,17 @@ func (ld *loader) load(t *testing.T, pkgPath string) *fixturePkg {
 			return types.Unsafe, nil
 		}
 		if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
-			return ld.load(t, path).types, nil
+			dep := ld.load(t, path)
+			seen := false
+			for _, d := range pkg.deps {
+				if d == path {
+					seen = true
+				}
+			}
+			if !seen {
+				pkg.deps = append(pkg.deps, path)
+			}
+			return dep.types, nil
 		}
 		return ld.std.Import(path)
 	})

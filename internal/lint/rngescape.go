@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RngEscape extends RngShare across helper-function boundaries with
+// parameter-level facts.
+//
+// RngShare sees a *rand.Rand crossing a goroutine boundary only at a
+// literal `go` statement (or a known spawn helper). A helper that does
+// the spawning on the caller's behalf —
+//
+//	package rngutil
+//	func Spawn(rng *rand.Rand, out []float64) { go func() { out[0] = rng.Float64() }() }
+//
+// — hides the boundary from every caller. RngEscape records a fact on
+// each *rand.Rand parameter: whether the callee (transitively) hands it
+// to another goroutine, and whether it merely retains it beyond the call
+// (stored in a field, a global, a channel, a composite literal, or
+// returned). Call sites passing an rng into a goroutine-escaping
+// parameter are flagged in every package — the PR 2 rule is "the rng
+// stays on the caller's goroutine", and a helper hop does not change
+// whose goroutine draws.
+//
+// Retention alone (Stored without Goroutine) is a fact, not a finding:
+// constructors that seed a struct with its owned rng are the repo's
+// sanctioned pattern. The fact still composes — a helper that forwards
+// its parameter into a storing callee is itself marked as storing.
+// Justify an intentional hand-off with //pollux:rngescape-ok (an
+// existing //pollux:rngshare-ok at the escape site is honored too).
+var RngEscape = &Analyzer{
+	Name:      "rngescape",
+	Doc:       "flags a *rand.Rand passed to a function whose parameter transitively reaches another goroutine (cross-package facts; extends rngshare across helper boundaries); retention-only escapes are recorded as facts",
+	Directive: "rngescape-ok",
+	Run:       runRngEscape,
+}
+
+// RngEscapeFact describes what a function does with one *rand.Rand
+// parameter beyond drawing from it on the caller's goroutine.
+type RngEscapeFact struct {
+	// Goroutine: the parameter is (transitively) referenced from a
+	// goroutine the callee spawns.
+	Goroutine bool
+	// Stored: the parameter is retained beyond the call.
+	Stored bool
+	// Path is the escape chain, innermost description last, e.g.
+	// ["rngutil.Forward", "rngutil.Spawn", "a go-statement closure"].
+	Path []string
+}
+
+// AFact marks RngEscapeFact as a fact type.
+func (*RngEscapeFact) AFact() {}
+
+// rngParam is one *rand.Rand parameter under analysis.
+type rngParam struct {
+	fn    *types.Func
+	index int
+	obj   *types.Var
+	body  *ast.BlockStmt
+}
+
+func runRngEscape(pass *Pass) error {
+	info := pass.TypesInfo
+
+	var params []*rngParam
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isRandRand(sig.Params().At(i).Type()) {
+					params = append(params, &rngParam{fn: obj, index: i, obj: sig.Params().At(i), body: fd.Body})
+				}
+			}
+		}
+	}
+
+	local := map[*types.Var]*RngEscapeFact{}
+	// calleeFact resolves the fact on callee's i'th parameter: local
+	// fixpoint state first, then exported/imported facts.
+	calleeFact := func(callee *types.Func, i int) *RngEscapeFact {
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 {
+			return nil
+		}
+		if i >= sig.Params().Len() { // variadic tail
+			i = sig.Params().Len() - 1
+		}
+		if f, ok := local[sig.Params().At(i)]; ok {
+			return f
+		}
+		var fact RngEscapeFact
+		if pass.ParamFact(callee, i, &fact) {
+			return &fact
+		}
+		return nil
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, p := range params {
+			before := local[p.obj]
+			upd := RngEscapeFact{}
+			if before != nil {
+				upd = *before
+			}
+			scanRngParam(pass, p, &upd, calleeFact)
+			if before == nil && (upd.Goroutine || upd.Stored) ||
+				before != nil && (upd.Goroutine != before.Goroutine || upd.Stored != before.Stored) {
+				f := upd
+				local[p.obj] = &f
+				pass.ExportParamFact(p.fn, p.index, &f)
+				changed = true
+			}
+		}
+	}
+
+	// Diagnostics: a *rand.Rand argument at a plain call site whose
+	// parameter goroutine-escapes. Literal go statements and known spawn
+	// helpers stay RngShare's findings.
+	skip := map[*ast.CallExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				skip[n.Call] = true
+			case *ast.CallExpr:
+				if _, ok := spawnHelper(info, n); ok {
+					skip[n] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || skip[call] {
+				return true
+			}
+			callee := calledFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			for i, arg := range call.Args {
+				if !isRandRand(info.TypeOf(arg)) {
+					continue
+				}
+				fact := calleeFact(callee, i)
+				if fact == nil || !fact.Goroutine {
+					continue
+				}
+				if pass.exempt(arg.Pos(), "rngescape-ok") || pass.exemptQuiet(arg.Pos(), "rngshare-ok") {
+					continue
+				}
+				chain := strings.Join(append([]string{funcDisplay(callee)}, fact.Path...), " → ")
+				pass.Reportf(arg.Pos(), "*rand.Rand passed to %s, which hands it to another goroutine (%s): draw order becomes schedule-dependent — draw on the caller's goroutine or pass a seed (or justify with //pollux:rngescape-ok <reason>)", funcDisplay(callee), chain)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledFunc resolves the static callee of a call, method or function.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// scanRngParam folds p's escapes in its function body into fact.
+func scanRngParam(pass *Pass, p *rngParam, fact *RngEscapeFact, calleeFact func(*types.Func, int) *RngEscapeFact) {
+	info := pass.TypesInfo
+	isP := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == p.obj
+	}
+	// justified reports whether the escape at pos was waved through.
+	justified := func(pos ast.Node) bool {
+		return pass.exempt(pos.Pos(), "rngescape-ok") || pass.exemptQuiet(pos.Pos(), "rngshare-ok")
+	}
+	mark := func(goroutine bool, leaf string, node ast.Node) {
+		if justified(node) {
+			return
+		}
+		if goroutine && !fact.Goroutine {
+			fact.Goroutine = true
+			fact.Path = []string{leaf}
+		}
+		if !goroutine && !fact.Stored {
+			fact.Stored = true
+			if fact.Path == nil {
+				fact.Path = []string{leaf}
+			}
+		}
+	}
+	captures := func(fl *ast.FuncLit) bool {
+		found := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == p.obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	spawnArgs := func(call *ast.CallExpr, spawner string) {
+		for _, arg := range call.Args {
+			if fl, ok := arg.(*ast.FuncLit); ok {
+				if captures(fl) {
+					mark(true, "a closure spawned via "+spawner, arg)
+				}
+				continue
+			}
+			if isP(arg) {
+				mark(true, spawner, arg)
+			}
+		}
+		if fl, ok := call.Fun.(*ast.FuncLit); ok && captures(fl) {
+			mark(true, "a closure spawned via "+spawner, call.Fun)
+		}
+	}
+
+	ast.Inspect(p.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawnArgs(n.Call, "a go statement")
+		case *ast.CallExpr:
+			if spawner, ok := spawnHelper(info, n); ok {
+				spawnArgs(n, spawner)
+				return true
+			}
+			if isBuiltin(info, n.Fun, "append") {
+				for _, a := range n.Args[1:] {
+					if isP(a) {
+						mark(false, "appended to a slice", a)
+					}
+				}
+				return true
+			}
+			callee := calledFunc(info, n)
+			for i, arg := range n.Args {
+				if !isP(arg) {
+					continue
+				}
+				if callee == nil {
+					continue
+				}
+				if cf := calleeFact(callee, i); cf != nil && (cf.Goroutine || cf.Stored) {
+					if justified(arg) {
+						continue
+					}
+					if cf.Goroutine && !fact.Goroutine {
+						fact.Goroutine = true
+						fact.Path = append([]string{funcDisplay(callee)}, cf.Path...)
+					}
+					if cf.Stored && !fact.Stored {
+						fact.Stored = true
+						if fact.Path == nil {
+							fact.Path = append([]string{funcDisplay(callee)}, cf.Path...)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isP(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.Ident:
+					// A package-level variable outlives the call; a fresh
+					// local alias does not (conservatively untracked).
+					if v, ok := info.ObjectOf(lhs).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						mark(false, "assigned to a package variable", rhs)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					mark(false, "stored through "+lhsKind(lhs), rhs)
+				}
+			}
+		case *ast.SendStmt:
+			if isP(n.Value) {
+				mark(false, "sent on a channel", n.Value)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if isP(elt) {
+					mark(false, "stored in a composite literal", elt)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isP(r) {
+					mark(false, "returned to the caller", r)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsKind names an assignment target shape for escape chains.
+func lhsKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a field"
+	case *ast.IndexExpr:
+		return "an element"
+	case *ast.StarExpr:
+		return "a pointer"
+	}
+	return "a store"
+}

@@ -1,27 +1,23 @@
 package lint_test
 
 import (
-	"os"
 	"os/exec"
-	"path/filepath"
 	"testing"
 )
 
-// TestRepoIsClean builds cmd/pollux-vet and runs it over the whole module,
-// so a determinism-invariant violation anywhere in the tree fails plain
-// `go test ./...` locally, not just the dedicated CI step.
+// TestRepoIsClean runs the shared pollux-vet binary (built once in
+// TestMain) over the whole module, so a determinism-invariant violation
+// anywhere in the tree fails plain `go test ./...` locally, not just
+// the dedicated CI step. It exercises the full fact pipeline — every
+// dependency's .vetx is written and re-read through the real go vet
+// protocol — and the stale-directive check over every real
+// justification in the tree.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide vet run skipped in -short mode")
 	}
+	bin := vetBinary(t)
 	root := moduleRoot(t)
-
-	bin := filepath.Join(t.TempDir(), "pollux-vet")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/pollux-vet")
-	build.Dir = root
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building pollux-vet: %v\n%s", err, out)
-	}
 
 	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	vet.Dir = root
@@ -33,18 +29,9 @@ func TestRepoIsClean(t *testing.T) {
 // moduleRoot walks upward from the working directory to the go.mod.
 func moduleRoot(t *testing.T) string {
 	t.Helper()
-	dir, err := os.Getwd()
+	root, err := findModuleRoot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			t.Fatal("go.mod not found above test directory")
-		}
-		dir = parent
-	}
+	return root
 }

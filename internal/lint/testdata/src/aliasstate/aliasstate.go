@@ -1,0 +1,76 @@
+// Package aliasstate declares mutex-guarded state for the aliasret
+// fixture: its alias-typed fields become GuardedFieldFact facts, and
+// the aliasret fixture package checks accessors against them from
+// across the package boundary.
+package aliasstate
+
+import "sync"
+
+// Table mirrors cluster.State: a mutex plus alias-typed fields. The
+// fields are exported so the aliasret fixture package can reach them.
+type Table struct {
+	Mu     sync.Mutex
+	Rows   map[string][]int
+	Limits []int
+	Extra  *int
+
+	version int // value-typed: never a guarded-alias fact
+}
+
+// Rows1 returns the guarded map directly: flagged in-package.
+func (t *Table) Rows1() map[string][]int {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	return t.Rows // want `returning mutex-guarded field Table\.Rows \(guarded by "Mu"\) without a copy`
+}
+
+// Snapshot deep-copies rows the way cluster.Snapshot does after its
+// PR 7 fix: the copy idiom passes untouched.
+func (t *Table) Snapshot() map[string][]int {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	out := make(map[string][]int, len(t.Rows))
+	for k, row := range t.Rows {
+		out[k] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Shallow is the reverted cluster.Snapshot bug: fresh outer map, every
+// row still aliasing guarded memory.
+func (t *Table) Shallow() map[string][]int {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	out := make(map[string][]int, len(t.Rows))
+	for k, row := range t.Rows {
+		out[k] = row // want `storing "row" uncopied while ranging mutex-guarded field Table\.Rows`
+	}
+	return out
+}
+
+// Rehash re-stores rows inside the same guarded struct: rebucketing
+// under the lock is not a leak.
+func (t *Table) Rehash() {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for k, row := range t.Rows {
+		t.Rows[k+"!"] = row
+	}
+}
+
+// Version returns a value-typed field: values copy by assignment.
+func (t *Table) Version() int {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	return t.version
+}
+
+// Unguarded has alias-typed fields but no mutex: no facts, no findings.
+type Unguarded struct {
+	Rows map[string][]int
+}
+
+// All returns freely — nothing guards it.
+func (u *Unguarded) All() map[string][]int {
+	return u.Rows
+}

@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The e2e tests (self_test.go, driver_e2e_test.go) all drive the same
+// pollux-vet binary, so TestMain builds it exactly once per `go test`
+// invocation instead of once per test. -short runs skip every e2e test,
+// so the build is skipped there too.
+var vetBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(runMain(m))
+}
+
+func runMain(m *testing.M) int {
+	if !testing.Short() {
+		root, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		dir, err := os.MkdirTemp("", "pollux-vet-bin-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		bin := filepath.Join(dir, "pollux-vet")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/pollux-vet")
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building pollux-vet: %v\n%s", err, out)
+			return 1
+		}
+		vetBin = bin
+	}
+	return m.Run()
+}
+
+// vetBinary returns the shared pollux-vet binary, skipping tests that
+// need it under -short (TestMain does not build it there).
+func vetBinary(t *testing.T) string {
+	t.Helper()
+	if vetBin == "" {
+		t.Skip("pollux-vet binary not built in -short mode")
+	}
+	return vetBin
+}
+
+// findModuleRoot walks upward from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
