@@ -6,10 +6,19 @@
 //
 // Usage:
 //
-//	pollux-bench [-scale quick|full] [-exhibits all|table2,fig7,...]
+//	pollux-bench [-scale quick|full|mega] [-exhibits all|table2,fig7,...]
 //	             [-json out.json] [-md out.md]
 //	             [-baseline bench/baselines/quick.json] [-update-baseline]
 //	             [-parallel n] [-refitworkers n] [-quiet]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	             [-gobench bench-output.txt]
+//
+// With -gobench the report is parsed from `go test -bench` output instead
+// of running a sweep, so Go benchmark regressions gate through the same
+// baseline pipeline: deterministic custom metrics (cells/round, fixed-seed
+// JCTs) compare exactly while wall-clock measurements are Volatile —
+// archived, never compared. CI pins -benchtime to a fixed iteration count
+// so per-iteration custom metrics are reproducible.
 //
 // Quick scale finishes in a couple of minutes; full scale approximates
 // the paper's 160-job / 64-GPU / 8-seed setup. Seeds are simulated
@@ -51,7 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var sweep cliutil.Sweep
 	sweep.Register(fs, "quick", true)
+	var prof cliutil.Profile
+	prof.Register(fs)
 	exhibits := fs.String("exhibits", "all", "comma-separated exhibit ids, or 'all'")
+	gobench := fs.String("gobench", "",
+		"gate `go test -bench` output ('-' for stdin) instead of running a sweep; pair with -baseline bench/baselines/gobench.json")
 	exp := fs.String("exp", "", "deprecated alias for -exhibits")
 	jsonOut := fs.String("json", "", "write the sweep report as JSON ('-' for stdout)")
 	mdOut := fs.String("md", "", "write a per-exhibit headline-metric markdown table ('-' for stdout)")
@@ -69,46 +82,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sc, err := sweep.Scale()
+	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(stderr, "pollux-bench:", err)
 		return 2
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "pollux-bench:", err)
+		}
+	}()
 
-	filter := *exhibits
-	if *exp != "" {
-		if *exhibits != "all" {
-			fmt.Fprintln(stderr, "pollux-bench: -exp is a deprecated alias for -exhibits; pass only one")
+	var report results.Report
+	subset := false
+	if *gobench != "" {
+		// Gate mode for Go benchmark output: the report comes from a
+		// `go test -bench` run instead of an exhibit sweep, so the shared
+		// -json/-baseline/-update-baseline plumbing below applies as-is.
+		if *exhibits != "all" || *exp != "" {
+			fmt.Fprintln(stderr, "pollux-bench: -gobench and -exhibits are mutually exclusive")
 			return 2
 		}
-		filter = *exp
-	}
-	ids, subset, err := resolveExhibits(filter)
-	if err != nil {
-		fmt.Fprintln(stderr, "pollux-bench:", err)
-		return 2
-	}
-
-	report := results.Report{
-		Scale:     sweep.ScaleName,
-		StartedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Git:       results.GitMetadata("."),
-	}
-	for _, id := range ids {
-		start := time.Now()
-		o, err := experiments.Run(id, sc)
+		rep, err := readGoBench(*gobench)
 		if err != nil {
 			fmt.Fprintln(stderr, "pollux-bench:", err)
 			return 1
 		}
-		elapsed := time.Since(start)
-		rec := o.Record(sweep.ScaleName)
-		rec.WallClockSec = elapsed.Seconds()
-		report.Records = append(report.Records, rec)
-		if !*quiet {
-			fmt.Fprint(stdout, o)
-			fmt.Fprintf(stdout, "(%s in %s, scale=%s)\n\n", id, elapsed.Round(time.Millisecond), sweep.ScaleName)
+		rep.StartedAt = time.Now().UTC().Format(time.RFC3339)
+		rep.GoVersion = runtime.Version()
+		rep.Git = results.GitMetadata(".")
+		report = rep
+	} else {
+		sc, err := sweep.Scale()
+		if err != nil {
+			fmt.Fprintln(stderr, "pollux-bench:", err)
+			return 2
+		}
+
+		filter := *exhibits
+		if *exp != "" {
+			if *exhibits != "all" {
+				fmt.Fprintln(stderr, "pollux-bench: -exp is a deprecated alias for -exhibits; pass only one")
+				return 2
+			}
+			filter = *exp
+		}
+		var ids []string
+		ids, subset, err = resolveExhibits(filter)
+		if err != nil {
+			fmt.Fprintln(stderr, "pollux-bench:", err)
+			return 2
+		}
+
+		report = results.Report{
+			Scale:     sweep.ScaleName,
+			StartedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Git:       results.GitMetadata("."),
+		}
+		for _, id := range ids {
+			start := time.Now()
+			o, err := experiments.Run(id, sc)
+			if err != nil {
+				fmt.Fprintln(stderr, "pollux-bench:", err)
+				return 1
+			}
+			elapsed := time.Since(start)
+			rec := o.Record(sweep.ScaleName)
+			rec.WallClockSec = elapsed.Seconds()
+			report.Records = append(report.Records, rec)
+			if !*quiet {
+				fmt.Fprint(stdout, o)
+				fmt.Fprintf(stdout, "(%s in %s, scale=%s)\n\n", id, elapsed.Round(time.Millisecond), sweep.ScaleName)
+			}
 		}
 	}
 
@@ -213,6 +259,24 @@ func resolveExhibits(filter string) (ids []string, subset bool, err error) {
 		}
 	}
 	return ids, len(ids) < len(all), nil
+}
+
+// readGoBench parses `go test -bench` output from a file, or from stdin
+// when path is "-".
+func readGoBench(path string) (results.Report, error) {
+	if path == "-" {
+		return results.ParseGoBench(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return results.Report{}, err
+	}
+	defer f.Close()
+	rep, err := results.ParseGoBench(f)
+	if err != nil {
+		return results.Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // emit writes via w to a path, or to stdout when path is "-".

@@ -192,3 +192,54 @@ func TestBadFlagsRejected(t *testing.T) {
 		t.Errorf("usage not printed: %s", errb.String())
 	}
 }
+
+// TestGoBenchGateRoundTrip drives the -gobench mode end to end: seed a
+// baseline from benchmark output, verify a rerun with only wall-clock
+// drift passes the gate, and that a deterministic custom metric drifting
+// fails it.
+func TestGoBenchGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	benchOut := `goos: linux
+BenchmarkPolluxScheduleIncremental/full-8        2  555514208 ns/op  40304640 cells/round
+BenchmarkPolluxScheduleIncremental/incremental-8 2   55824410 ns/op   7714560 cells/round
+PASS
+`
+	outPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(outPath, []byte(benchOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "gobench.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gobench", outPath, "-baseline", basePath, "-update-baseline"}, &out, &errb); code != 0 {
+		t.Fatalf("seed update failed: %d %s", code, errb.String())
+	}
+
+	// Same deterministic metrics, different timings: passes.
+	rerun := strings.ReplaceAll(benchOut, "555514208", "999999999")
+	if err := os.WriteFile(outPath, []byte(rerun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-gobench", outPath, "-baseline", basePath}, &out, &errb); code != 0 {
+		t.Fatalf("wall-clock-only drift failed the gate: %s", errb.String())
+	}
+
+	// A drifting cells/round fails.
+	drift := strings.ReplaceAll(benchOut, "40304640", "50000000")
+	if err := os.WriteFile(outPath, []byte(drift), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-gobench", outPath, "-baseline", basePath}, &out, &errb); code != 1 {
+		t.Fatalf("cells/round drift: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "cells/round") {
+		t.Errorf("diff report missing cells/round:\n%s", errb.String())
+	}
+
+	// -gobench with an exhibit filter is a usage error.
+	if code := run([]string{"-gobench", outPath, "-exhibits", "fig6"}, &out, &errb); code != 2 {
+		t.Errorf("gobench+exhibits: exit %d, want 2", code)
+	}
+}

@@ -5,9 +5,18 @@
 //
 //	pollux-sim [-policy pollux|optimus|tiresias] [-engine event|tick|replay]
 //	           [-jobs 160] [-hours 8] [-nodes 16] [-gpus 4] [-seed 1]
-//	           [-scale quick|full] [-user] [-interference 0.5]
+//	           [-scale quick|full|mega] [-user] [-interference 0.5]
+//	           [-incremental] [-fullevery 10] [-racksize 16]
 //	           [-tenants prod:12:2,batch:20] [-admission quota]
 //	           [-quota batch=10] [-priority slo]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -incremental switches Pollux to incremental scheduling rounds (only
+// jobs whose fitted model, phase, or GPU demand changed are re-placed;
+// -fullevery forces a periodic full re-optimization) and -racksize
+// enables the hierarchical rack-then-node GA decomposition; both keep
+// the default flat full rounds when unset, preserving the fixed-seed
+// baselines bit for bit.
 //
 // -scale presets the cluster shape (-jobs/-hours/-nodes/-gpus/-tick) from
 // the shared quick/full experiment scales (internal/cliutil), so a single
@@ -55,6 +64,12 @@ func main() {
 	user := flag.Bool("user", false, "use realistic user configs instead of tuned configs")
 	interference := flag.Float64("interference", 0, "artificial slowdown for co-located distributed jobs (0-0.9)")
 	noAvoid := flag.Bool("no-avoidance", false, "disable Pollux interference avoidance")
+	incremental := flag.Bool("incremental", false,
+		"Pollux only: incremental rounds (re-optimize only jobs whose model, phase, or demand changed)")
+	fullEvery := flag.Int("fullevery", 0,
+		"with -incremental: force a full re-optimization every N rounds (0 = default cadence, negative = never)")
+	rackSize := flag.Int("racksize", 0,
+		"Pollux only: nodes per rack for hierarchical rack-then-node GA decomposition (0 = flat)")
 	engine := flag.String("engine", sim.EngineEvent,
 		"simulation engine: event (discrete-event), tick (fixed-step), or replay (testbed control path on virtual time)")
 	overRPC := flag.Bool("rpc", false, "with -engine replay: drive the agent boundary over a loopback net/rpc socket")
@@ -65,7 +80,20 @@ func main() {
 	sweep.Register(flag.CommandLine, "", false) // -scale preset + -refitworkers
 	var fe cliutil.FrontEnd
 	fe.Register(flag.CommandLine)
+	var prof cliutil.Profile
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	feOpts, err := fe.Options()
 	if err != nil {
@@ -144,12 +172,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	if (*incremental || *fullEvery != 0 || *rackSize > 0) && *policy != "pollux" {
+		fmt.Fprintln(os.Stderr, "-incremental/-fullevery/-racksize only apply to -policy pollux")
+		os.Exit(2)
+	}
+
 	var p sched.Policy
 	switch *policy {
 	case "pollux":
 		p = sched.NewPollux(sched.PolluxOptions{
 			Population: 50, Generations: 30,
 			DisableInterferenceAvoidance: *noAvoid,
+			Incremental:                  *incremental,
+			FullEvery:                    *fullEvery,
+			RackSize:                     *rackSize,
 		}, *seed)
 	case "optimus":
 		p = sched.NewOptimus(*gpus)

@@ -8,6 +8,9 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -31,7 +34,7 @@ type Sweep struct {
 // means "use the explicit -jobs/-nodes/... flags"). withParallel also
 // declares -parallel, which only makes sense for multi-seed sweeps.
 func (s *Sweep) Register(fs *flag.FlagSet, scaleDefault string, withParallel bool) {
-	usage := "experiment scale preset: quick or full"
+	usage := "experiment scale preset: quick, full, or mega"
 	if scaleDefault == "" {
 		usage += " (empty: use the explicit shape flags)"
 	}
@@ -72,6 +75,59 @@ func (s Sweep) ApplyConfig(cfg *sim.Config) {
 	if s.RefitWorkers > 0 {
 		cfg.RefitWorkers = s.RefitWorkers
 	}
+}
+
+// Profile holds the shared -cpuprofile/-memprofile flags, so hotpath
+// profiling of a sweep or a single simulation no longer needs an ad-hoc
+// test harness: any pollux command can emit pprof files directly.
+type Profile struct {
+	CPU string
+	Mem string
+}
+
+// Register declares the profiling flags.
+func (p *Profile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a pprof heap profile at exit to this file")
+}
+
+// Start begins CPU profiling if requested and returns a stop function to
+// defer: it stops the CPU profile and, if requested, writes the heap
+// profile (after a GC, so the snapshot shows live retention rather than
+// garbage). With neither flag set both Start and stop are no-ops.
+func (p Profile) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cliutil: -cpuprofile: %w", err)
+			}
+		}
+		if p.Mem == "" {
+			return nil
+		}
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+		return f.Close()
+	}, nil
 }
 
 // FrontEnd holds the multi-tenant serving front-end knobs shared by

@@ -2,6 +2,8 @@ package cliutil
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
@@ -123,5 +125,49 @@ func TestFrontEndParseErrors(t *testing.T) {
 		if _, err := fe.TenantSpecs(); err == nil {
 			t.Errorf("TenantSpecs() accepted %+v", fe)
 		}
+	}
+}
+
+func TestProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var p Profile
+	p.Register(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i % 7
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfileNoFlagsIsNoOp(t *testing.T) {
+	stop, err := Profile{}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
 	}
 }

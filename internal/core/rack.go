@@ -104,6 +104,37 @@ func (p RackParams) Throughput(pl RackPlacement, m float64) float64 {
 	return m / ti
 }
 
+// DeriveRackParams builds a rack-aware θsys from a fitted two-tier θsys
+// by scaling the node-tier synchronization pair: cross-rack all-reduce
+// hops are factor× the intra-rack cost. Agents fit only the paper's
+// 7-parameter model, so the hierarchical scheduler uses this derivation
+// to price rack spans without changing the profiling protocol; factor 1
+// makes racks free and reduces TSync to the two-tier model.
+func DeriveRackParams(p Params, factor float64) RackParams {
+	return RackParams{
+		Params:        p,
+		AlphaSyncRack: p.AlphaSyncNode * factor,
+		BetaSyncRack:  p.BetaSyncNode * factor,
+	}
+}
+
+// OptimalBatchRack is OptimalBatch under the three-tier rack model: the
+// total batch maximizing THROUGHPUT(rp, pl, m) × EFFICIENCY_t(m) over the
+// feasible range, by the same golden-section search. rp supplies the
+// throughput model (its embedded Params supersede g.Params); g supplies
+// φt, m0, and the memory caps. ok is false when the placement cannot fit
+// even the initial batch size.
+func (g Model) OptimalBatchRack(rp RackParams, pl RackPlacement) (m int, goodput float64, ok bool) {
+	lo, hi, ok := g.batchRange(pl.Flat())
+	if !ok {
+		return 0, 0, false
+	}
+	m, goodput = opt.GoldenSectionMaxInt(func(b int) float64 {
+		return rp.Throughput(pl, float64(b)) * Efficiency(g.Phi, g.M0, b)
+	}, lo, hi)
+	return m, goodput, true
+}
+
 // RackSample is one observed (placement, batch, iteration time) triple
 // with rack information.
 type RackSample struct {

@@ -191,3 +191,52 @@ func TestRackParamsFromVectorPanics(t *testing.T) {
 	}()
 	RackParamsFromVector(make([]float64, 7))
 }
+
+func TestDeriveRackParams(t *testing.T) {
+	rp := DeriveRackParams(refParams, 3)
+	if rp.Params != refParams {
+		t.Error("base θsys not preserved")
+	}
+	if math.Abs(rp.AlphaSyncRack-3*refParams.AlphaSyncNode) > 1e-15 ||
+		math.Abs(rp.BetaSyncRack-3*refParams.BetaSyncNode) > 1e-15 {
+		t.Errorf("rack pair = (%v, %v), want 3× the node pair", rp.AlphaSyncRack, rp.BetaSyncRack)
+	}
+	// factor 1 prices rack hops like node hops: TSync reduces to the
+	// two-tier model for any span.
+	free := DeriveRackParams(refParams, 1)
+	pl := RackPlacement{GPUs: 16, Nodes: 4, Racks: 3}
+	//pollux:floateq-ok factor-1 derivation must reduce to the flat model bit-for-bit
+	if got, want := free.TSync(pl), refParams.TSync(pl.Flat()); got != want {
+		t.Errorf("factor-1 cross-rack sync = %v, want flat %v", got, want)
+	}
+}
+
+func TestOptimalBatchRack(t *testing.T) {
+	g := Model{Params: refParams, Phi: 100, M0: 512, MaxBatchPerGPU: 256}
+	rp := DeriveRackParams(refParams, 4)
+
+	// One rack: identical to the flat search (TSync tiers coincide).
+	flatM, flatG, ok1 := g.OptimalBatch(Placement{GPUs: 16, Nodes: 4})
+	rackM, rackG, ok2 := g.OptimalBatchRack(rp, RackPlacement{GPUs: 16, Nodes: 4, Racks: 1})
+	if !ok1 || !ok2 {
+		t.Fatal("feasible placement reported infeasible")
+	}
+	//pollux:floateq-ok single-rack search must reduce to the flat search bit-for-bit
+	if rackM != flatM || rackG != flatG {
+		t.Errorf("one-rack optimum (%d, %v), want flat (%d, %v)", rackM, rackG, flatM, flatG)
+	}
+
+	// Spanning racks costs goodput at the optimum.
+	_, crossG, ok := g.OptimalBatchRack(rp, RackPlacement{GPUs: 16, Nodes: 4, Racks: 4})
+	if !ok {
+		t.Fatal("cross-rack placement reported infeasible")
+	}
+	if crossG >= rackG {
+		t.Errorf("cross-rack goodput %v not below within-rack %v", crossG, rackG)
+	}
+
+	// Infeasible: even m0 does not fit.
+	if _, _, ok := g.OptimalBatchRack(rp, RackPlacement{GPUs: 1, Nodes: 1, Racks: 1}); ok {
+		t.Error("m0=512 on one 256-batch GPU reported feasible")
+	}
+}

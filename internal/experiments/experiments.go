@@ -43,6 +43,7 @@ type Outcome struct {
 	RelTol   float64
 	units    map[string]string
 	tols     map[string]tolBand
+	volatile map[string]bool
 }
 
 type tolBand struct{ rel, abs float64 }
@@ -81,6 +82,17 @@ func (o *Outcome) setUnit(key, unit string, v float64) {
 	o.units[key] = unit
 }
 
+// setVolatileUnit records a wall-clock-style measurement that varies run
+// to run on an unchanged tree: the baseline gate checks it exists but
+// never compares its value, and Canonical zeroes it (see results.Metric).
+func (o *Outcome) setVolatileUnit(key, unit string, v float64) {
+	o.setUnit(key, unit, v)
+	if o.volatile == nil {
+		o.volatile = make(map[string]bool)
+	}
+	o.volatile[key] = true
+}
+
 // setTol overrides the exhibit-default tolerance band for one metric:
 // |v-base| <= rel*max(|v|,|base|) + abs. Used where a relative band is
 // the wrong shape — e.g. parity deltas that hover near zero get an
@@ -114,6 +126,7 @@ func (o Outcome) Record(scale string) results.Record {
 		if t, ok := o.tols[k]; ok {
 			m.RelTol, m.AbsTol = t.rel, t.abs
 		}
+		m.Volatile = o.volatile[k]
 		r.Metrics = append(r.Metrics, m)
 	}
 	return r
@@ -135,6 +148,16 @@ type Scale struct {
 	// multi-day inhomogeneous-Poisson arrivals); Jobs scales with it as
 	// the expected submissions per day.
 	Days float64
+	// MegaNodes are the cluster sizes of the mega exhibit's scheduling-
+	// round sweep (one full-vs-incremental round comparison per entry);
+	// MegaJobs is the job count of that sweep, and MegaSimJobs the
+	// (smaller) job count of its end-to-end JCT simulation, which runs at
+	// MegaNodes[0]. A full simulation at MegaJobs would take hours on one
+	// core, so the 10k-job claim is carried by the round sweep and the
+	// JCT claim by a reduced trace — see mega.go.
+	MegaNodes   []int
+	MegaJobs    int
+	MegaSimJobs int
 	// Parallel bounds concurrent per-seed simulations (sim.Config.Parallel);
 	// 0 or 1 is serial. Per-seed runs are deterministic, so results do
 	// not depend on this.
@@ -156,6 +179,9 @@ func QuickScale() Scale {
 		PolluxPop: 20, PolluxGens: 10,
 		AutoscaleEpochs: 4,
 		Days:            1,
+		MegaNodes:       []int{32, 64},
+		MegaJobs:        192,
+		MegaSimJobs:     40,
 		Parallel:        runtime.GOMAXPROCS(0),
 	}
 }
@@ -173,9 +199,25 @@ func FullScale() Scale {
 		// 2 days keeps the diurnal64 exhibit in single-digit minutes on a
 		// multi-core host (a 3-day run measured ~25 min on one core; see
 		// EXPERIMENTS.md).
-		Days:     2,
-		Parallel: runtime.GOMAXPROCS(0),
+		Days:        2,
+		MegaNodes:   []int{512, 1024},
+		MegaJobs:    10240,
+		MegaSimJobs: 2000,
+		Parallel:    runtime.GOMAXPROCS(0),
 	}
+}
+
+// MegaScale is the mega preset for standalone runs (pollux-sim -scale
+// mega, or pollux-bench -scale mega -exhibits mega): the full-scale mega
+// dimensions with a single seed and full-scale GA parameters, without
+// dragging the 8-seed full sweep behind it.
+func MegaScale() Scale {
+	sc := FullScale()
+	sc.Seeds = []int64{1}
+	sc.Nodes = sc.MegaNodes[0]
+	sc.Jobs = sc.MegaSimJobs
+	sc.Hours = 24
+	return sc
 }
 
 // ScaleByName resolves the scale presets exposed by the command-line
@@ -186,8 +228,10 @@ func ScaleByName(name string) (Scale, error) {
 		return QuickScale(), nil
 	case "full":
 		return FullScale(), nil
+	case "mega":
+		return MegaScale(), nil
 	}
-	return Scale{}, fmt.Errorf("unknown scale %q (want quick or full)", name)
+	return Scale{}, fmt.Errorf("unknown scale %q (want quick, full, or mega)", name)
 }
 
 // headlines selects, per exhibit, the few metrics that summarize its
@@ -212,6 +256,7 @@ var headlines = map[string][]string{
 		"Pollux/batch/rejected", "Pollux/burst/rejected", "Pollux/prod/queueDepth"},
 	"replayparity": {"Pollux/dJCT", "Pollux/dGoodput", "Optimus+Oracle/dJCT", "Tiresias+TunedJobs/dJCT"},
 	"validate":     {"worstOff"},
+	"mega":         {"reductionAtLargestN", "sim/p99JCT", "sim/goodput", "sim/completed"},
 }
 
 // Headlines returns the exhibit-id → headline-metric registry shared by
@@ -230,6 +275,7 @@ func All() []string {
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig6",
 		"table2", "fig7", "fig8", "table3", "fig9", "fig10",
 		"diurnal64", "fairness", "replayparity", "validate",
+		"mega",
 	}
 }
 
@@ -268,6 +314,8 @@ func Run(id string, sc Scale) (Outcome, error) {
 		return ReplayParity(sc)
 	case "validate":
 		return Validate(sc), nil
+	case "mega":
+		return Mega(sc), nil
 	default:
 		return Outcome{}, fmt.Errorf("unknown experiment %q (have %v)", id, All())
 	}

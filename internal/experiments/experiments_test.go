@@ -122,8 +122,8 @@ func TestRunDispatch(t *testing.T) {
 
 func TestAllListsEveryExperiment(t *testing.T) {
 	ids := All()
-	if len(ids) != 16 {
-		t.Fatalf("All() = %d experiments, want 16 (12 paper exhibits + diurnal64 + fairness + replayparity + validate)", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("All() = %d experiments, want 17 (12 paper exhibits + diurnal64 + fairness + replayparity + validate + mega)", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

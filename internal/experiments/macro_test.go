@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -263,5 +264,46 @@ func TestFairnessShortSmoke(t *testing.T) {
 	}
 	if o.Values["Pollux/prod/avgJCT"] <= 0 {
 		t.Error("prod: no JCT recorded")
+	}
+}
+
+// TestMegaShortSmoke runs the scale exhibit end to end at toy dimensions
+// under -short: the round sweep must show incremental+hierarchical
+// rounds doing strictly less fitness work than a flat full round, and
+// the deterministic (gated) cell counts must reproduce exactly.
+func TestMegaShortSmoke(t *testing.T) {
+	sc := shortScale()
+	sc.MegaNodes = []int{8, 16}
+	sc.MegaJobs = 24
+	sc.MegaSimJobs = 8
+	o := Mega(sc)
+	if len(o.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per swept size plus the sim row", len(o.Rows))
+	}
+	for _, n := range []int{8, 16} {
+		full := o.Values[fmt.Sprintf("n%d/fullCells", n)]
+		inc := o.Values[fmt.Sprintf("n%d/incCellsPerRound", n)]
+		if full <= 0 || inc <= 0 {
+			t.Fatalf("n=%d: no fitness work recorded (full=%v inc=%v)", n, full, inc)
+		}
+		if inc >= full {
+			t.Errorf("n=%d: incremental rounds did not cut fitness work (%v >= %v)", n, inc, full)
+		}
+	}
+	if r := o.Values["reductionAtLargestN"]; r <= 1 {
+		t.Errorf("reductionAtLargestN = %v, want > 1", r)
+	}
+	if o.Values["sim/completed"] <= 0 {
+		t.Error("sim part completed no jobs")
+	}
+
+	o2 := Mega(sc)
+	for _, key := range []string{
+		"n8/fullCells", "n8/incCellsPerRound", "n16/fullCells",
+		"n16/incCellsPerRound", "reductionAtLargestN", "sim/avgJCT",
+	} {
+		if o.Values[key] != o2.Values[key] { //pollux:floateq-ok gated metrics must reproduce bitwise run to run
+			t.Errorf("%s not deterministic: %v vs %v", key, o.Values[key], o2.Values[key])
+		}
 	}
 }

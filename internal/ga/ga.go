@@ -11,6 +11,7 @@
 package ga
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -30,6 +31,14 @@ func NewMatrix(jobs, nodes int) Matrix {
 		m[j], backing = backing[:nodes:nodes], backing[nodes:]
 	}
 	return m
+}
+
+// CopyFrom overwrites m's entries with o's. The shapes must match; it is
+// the allocation-free counterpart of Clone for reused buffers.
+func (m Matrix) CopyFrom(o Matrix) {
+	for j := range m {
+		copy(m[j], o[j])
+	}
 }
 
 // Clone deep-copies the matrix.
@@ -105,6 +114,18 @@ type Problem struct {
 	// InterferenceAvoidance enforces that at most one distributed job
 	// (a job spanning more than one node) occupies each node (Sec. 4.2.1).
 	InterferenceAvoidance bool
+	// DistBlocked, when non-nil, marks nodes that must not host any
+	// distributed job at all. Hierarchical sub-problems set it for nodes
+	// that already host a distributed job outside the sub-problem: the
+	// Sec. 4.2.1 constraint then forbids a second one there. Ignored
+	// unless InterferenceAvoidance is set.
+	DistBlocked []bool
+	// ExtraSpan, when non-nil, gives per job the number of nodes it
+	// occupies outside this problem's columns; the interference
+	// constraint sees span = JobNodes + ExtraSpan, so a job with GPUs in
+	// another rack counts as distributed even when it sits on one local
+	// node. Ignored unless InterferenceAvoidance is set.
+	ExtraSpan []int
 }
 
 // Options tunes the GA. The paper's defaults are population 100 and 100
@@ -118,6 +139,15 @@ type Options struct {
 	// *rand.Rand is never shared — and every offspring is scored into a
 	// fixed slot, so results are bit-identical to Workers: 1.
 	Workers int
+	// SparseMutation samples the gaps between mutated cells geometrically
+	// instead of flipping one Bernoulli(1/N) coin per cell, turning the
+	// O(jobs × nodes) rng scan per offspring into O(expected mutations) —
+	// the scan is the measured mutation hotspot at 512+ nodes. The
+	// per-cell mutation distribution is identical, but the rng draw
+	// SEQUENCE is not, so it is opt-in: the incremental/hierarchical
+	// scheduler paths enable it, while the default dense scan keeps every
+	// fixed-seed baseline trace bit-stable.
+	SparseMutation bool
 }
 
 func (o *Options) defaults() {
@@ -143,7 +173,33 @@ type GA struct {
 
 	pop    []Matrix
 	scores []float64
+
+	// Reused generation buffers (see Step): matrices cycle between the
+	// population, the offspring slice, and the free pool instead of being
+	// reallocated every generation — offspring churn was the dominant
+	// allocation source in scheduling-round profiles.
+	free       []Matrix
+	off        []Matrix
+	offScores  []float64
+	idx        []int
+	next       []Matrix
+	nextScores []float64
+
+	stats Stats
 }
+
+// Stats counts fitness work done since the GA was created, including the
+// initial population evaluation. CellsScored weights each call by the
+// matrix area it scored (jobs × nodes): sub-problem evaluations in the
+// hierarchical scheduler are cheap in proportion to their area, so cells —
+// not raw calls — is the unit per-round speedups are measured in.
+type Stats struct {
+	FitnessCalls int64
+	CellsScored  int64
+}
+
+// Stats returns the cumulative fitness-work counters.
+func (g *GA) Stats() Stats { return g.stats }
 
 // New creates a GA for the problem, seeded from the given matrices (the
 // population carried over from the previous scheduling interval; may be
@@ -197,53 +253,93 @@ func New(prob Problem, opts Options, rng *rand.Rand, seeds []Matrix) *GA {
 // into its own slot and Fitness is required to be pure, so the result is
 // independent of worker count and interleaving.
 func (g *GA) evalScores(ms []Matrix, out []float64) {
+	g.stats.FitnessCalls += int64(len(ms))
+	g.stats.CellsScored += int64(len(ms)) * int64(g.prob.Jobs) * int64(len(g.prob.Capacity))
 	par.For(g.opts.Workers, len(ms), func(i int) {
 		out[i] = g.prob.Fitness(ms[i])
 	})
 }
 
+// buf returns a matrix buffer of the problem's shape, reusing an evicted
+// one when available.
+func (g *GA) buf() Matrix {
+	if n := len(g.free); n > 0 {
+		m := g.free[n-1]
+		g.free = g.free[:n-1]
+		return m
+	}
+	return NewMatrix(g.prob.Jobs, len(g.prob.Capacity))
+}
+
 // Step runs one generation: mutate, crossover, repair, and survivor
-// selection back down to the configured population size.
+// selection back down to the configured population size. Offspring
+// buffers come from the free pool and evicted members return to it, so a
+// steady-state generation allocates nothing; every reused buffer is fully
+// overwritten (mutation copies the parent first, crossover copies every
+// row), and the rng draw sequence is identical to the historical
+// clone-per-offspring implementation, so fixed-seed traces are unchanged.
 func (g *GA) Step() {
-	offspring := make([]Matrix, 0, 2*len(g.pop))
+	pop := g.pop
+	g.off = g.off[:0]
 	// Mutation: each current member yields one mutated offspring.
-	for _, m := range g.pop {
-		c := m.Clone()
+	for _, m := range pop {
+		c := g.buf()
+		c.CopyFrom(m)
 		g.mutate(c)
 		g.repair(c)
-		offspring = append(offspring, c)
+		g.off = append(g.off, c)
 	}
 	// Crossover: pair tournament winners to produce the same number of
 	// offspring again.
-	for i := 0; i < len(g.pop); i++ {
-		a := g.pop[g.tournament()]
-		b := g.pop[g.tournament()]
-		c := g.crossover(a, b)
+	for i := 0; i < len(pop); i++ {
+		a := pop[g.tournament()]
+		b := pop[g.tournament()]
+		c := g.buf()
+		g.crossoverInto(c, a, b)
 		g.repair(c)
-		offspring = append(offspring, c)
+		g.off = append(g.off, c)
 	}
 
-	// Survivor selection: keep the best Population among old + new.
-	offScores := make([]float64, len(offspring))
-	g.evalScores(offspring, offScores)
-	type scored struct {
-		m Matrix
-		f float64
+	// Survivor selection: keep the best Population among old + new. The
+	// candidate order (population, then offspring) and the stable sort
+	// reproduce the historical tie-breaking exactly.
+	if cap(g.offScores) < len(g.off) {
+		g.offScores = make([]float64, len(g.off))
 	}
-	all := make([]scored, 0, len(g.pop)+len(offspring))
-	for i, m := range g.pop {
-		all = append(all, scored{m, g.scores[i]})
+	g.offScores = g.offScores[:len(g.off)]
+	g.evalScores(g.off, g.offScores)
+
+	total := len(pop) + len(g.off)
+	g.idx = g.idx[:0]
+	for i := 0; i < total; i++ {
+		g.idx = append(g.idx, i)
 	}
-	for i, m := range offspring {
-		all = append(all, scored{m, offScores[i]})
+	score := func(i int) float64 {
+		if i < len(pop) {
+			return g.scores[i]
+		}
+		return g.offScores[i-len(pop)]
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].f > all[j].f })
-	g.pop = g.pop[:0]
-	g.scores = g.scores[:0]
-	for i := 0; i < g.opts.Population && i < len(all); i++ {
-		g.pop = append(g.pop, all[i].m)
-		g.scores = append(g.scores, all[i].f)
+	member := func(i int) Matrix {
+		if i < len(pop) {
+			return pop[i]
+		}
+		return g.off[i-len(pop)]
 	}
+	sort.SliceStable(g.idx, func(a, b int) bool { return score(g.idx[a]) > score(g.idx[b]) })
+
+	keep := min(g.opts.Population, total)
+	g.next = g.next[:0]
+	g.nextScores = g.nextScores[:0]
+	for _, i := range g.idx[:keep] {
+		g.next = append(g.next, member(i))
+		g.nextScores = append(g.nextScores, score(i))
+	}
+	for _, i := range g.idx[keep:] {
+		g.free = append(g.free, member(i))
+	}
+	g.pop, g.next = g.next, g.pop[:0]
+	g.scores, g.nextScores = g.nextScores, g.scores[:0]
 }
 
 // Run executes the given number of generations and returns the best
@@ -255,7 +351,9 @@ func (g *GA) Run(generations int) (Matrix, float64) {
 	return g.Best()
 }
 
-// Best returns the highest-fitness member of the current population.
+// Best returns the highest-fitness member of the current population. The
+// matrix is borrowed: it is valid until the next Step call, which may
+// recycle evicted members' storage; clone to keep it longer.
 func (g *GA) Best() (Matrix, float64) {
 	bi := 0
 	for i := range g.scores {
@@ -267,7 +365,9 @@ func (g *GA) Best() (Matrix, float64) {
 }
 
 // Population returns the current population (borrowed; callers must clone
-// before mutating). PolluxSched saves it to bootstrap the next interval.
+// before mutating or holding across a Step call — evicted members'
+// storage is recycled into later offspring). PolluxSched clones it to
+// bootstrap the next interval.
 func (g *GA) Population() []Matrix {
 	return g.pop
 }
@@ -277,6 +377,10 @@ func (g *GA) Population() []Matrix {
 func (g *GA) mutate(m Matrix) {
 	nodes := len(g.prob.Capacity)
 	if nodes == 0 {
+		return
+	}
+	if g.opts.SparseMutation {
+		g.mutateSparse(m)
 		return
 	}
 	p := 1.0 / float64(nodes)
@@ -289,9 +393,39 @@ func (g *GA) mutate(m Matrix) {
 	}
 }
 
-// crossover mixes rows of two parents uniformly at random.
-func (g *GA) crossover(a, b Matrix) Matrix {
-	c := NewMatrix(g.prob.Jobs, len(g.prob.Capacity))
+// mutateSparse realizes the same per-cell Bernoulli(1/N) mutation by
+// drawing the gaps between hits from the matching geometric distribution
+// (floor(ln U / ln(1-p)) with U uniform in (0,1]), visiting only the
+// mutated cells. With jobs×nodes cells and hit rate 1/nodes that is
+// O(jobs) expected draws per offspring instead of O(jobs × nodes).
+func (g *GA) mutateSparse(m Matrix) {
+	nodes := len(g.prob.Capacity)
+	total := len(m) * nodes
+	if total == 0 {
+		return
+	}
+	if nodes == 1 {
+		// p = 1: every cell mutates, no gaps to sample.
+		for j := range m {
+			m[j][0] = g.rng.Intn(g.prob.Capacity[0] + 1)
+		}
+		return
+	}
+	ln1p := math.Log(1 - 1.0/float64(nodes))
+	for i := 0; ; i++ {
+		u := 1 - g.rng.Float64() // (0,1], so Log is finite
+		i += int(math.Log(u) / ln1p)
+		if i >= total {
+			return
+		}
+		n := i % nodes
+		m[i/nodes][n] = g.rng.Intn(g.prob.Capacity[n] + 1)
+	}
+}
+
+// crossoverInto fills c by mixing rows of two parents uniformly at
+// random; every row is overwritten, so c may be a recycled buffer.
+func (g *GA) crossoverInto(c, a, b Matrix) {
 	for j := range c {
 		src := a
 		if g.rng.Intn(2) == 1 {
@@ -299,7 +433,6 @@ func (g *GA) crossover(a, b Matrix) Matrix {
 		}
 		copy(c[j], src[j])
 	}
-	return c
 }
 
 // tournament returns the index of the fittest among Tournament randomly
@@ -320,7 +453,7 @@ func (g *GA) tournament() int {
 func (g *GA) repair(m Matrix) {
 	RepairCapacity(m, g.prob.Capacity, g.rng)
 	if g.prob.InterferenceAvoidance {
-		RepairInterference(m, g.rng)
+		RepairInterferenceSub(m, g.rng, g.prob.DistBlocked, g.prob.ExtraSpan)
 	}
 }
 
@@ -376,6 +509,18 @@ func RepairCapacity(m Matrix, capacity []int, rng *rand.Rand) {
 // old stable-scan's first sweep (its later sweeps never drew), so fixed-
 // seed GA traces are unchanged.
 func RepairInterference(m Matrix, rng *rand.Rand) {
+	RepairInterferenceSub(m, rng, nil, nil)
+}
+
+// RepairInterferenceSub is RepairInterference for a sub-problem embedded
+// in a larger cluster (see Problem.DistBlocked and Problem.ExtraSpan):
+// blocked[n] marks columns where a distributed job outside the
+// sub-problem already resides — no distributed GPUs of the sub-problem's
+// jobs may remain there — and extraSpan[j] counts the nodes job j
+// occupies outside these columns, which add to its effective span.
+// Either may be nil; with both nil this is exactly RepairInterference,
+// rng draw sequence included.
+func RepairInterferenceSub(m Matrix, rng *rand.Rand, blocked []bool, extraSpan []int) {
 	if len(m) == 0 {
 		return
 	}
@@ -383,9 +528,26 @@ func RepairInterference(m Matrix, rng *rand.Rand) {
 	span := make([]int, len(m))
 	for j := range m {
 		span[j] = m.JobNodes(j)
+		if extraSpan != nil {
+			span[j] += extraSpan[j]
+		}
 	}
 	var dist []int
 	for n := 0; n < nodes; n++ {
+		if blocked != nil && blocked[n] {
+			// The outside distributed job keeps the node; every
+			// distributed sub-problem job leaves it. There is no choice
+			// to randomize (all must go), so eviction runs in row order
+			// and the rng is untouched. Evicting j changes only j's own
+			// span, so one pass with live span checks suffices.
+			for j := range m {
+				if m[j][n] > 0 && span[j] > 1 {
+					m[j][n] = 0
+					span[j]--
+				}
+			}
+			continue
+		}
 		dist = dist[:0]
 		for j := range m {
 			if m[j][n] > 0 && span[j] > 1 {
@@ -410,20 +572,34 @@ func RepairInterference(m Matrix, rng *rand.Rand) {
 // the interference-avoidance constraint. It is used by tests and by
 // defensive checks in the scheduler.
 func Feasible(m Matrix, capacity []int, avoidance bool) bool {
+	return FeasibleSub(m, capacity, avoidance, nil, nil)
+}
+
+// FeasibleSub is Feasible under the sub-problem constraints of
+// RepairInterferenceSub: no distributed GPUs on blocked nodes, and spans
+// widened by extraSpan. Either may be nil.
+func FeasibleSub(m Matrix, capacity []int, avoidance bool, blocked []bool, extraSpan []int) bool {
 	for n := range capacity {
 		if m.NodeUsage(n) > capacity[n] {
 			return false
 		}
 	}
 	if avoidance {
+		span := make([]int, len(m))
+		for j := range m {
+			span[j] = m.JobNodes(j)
+			if extraSpan != nil {
+				span[j] += extraSpan[j]
+			}
+		}
 		for n := range capacity {
 			dist := 0
 			for j := range m {
-				if m[j][n] > 0 && m.JobNodes(j) > 1 {
+				if m[j][n] > 0 && span[j] > 1 {
 					dist++
 				}
 			}
-			if dist > 1 {
+			if dist > 1 || (dist > 0 && blocked != nil && blocked[n]) {
 				return false
 			}
 		}

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -514,5 +515,253 @@ func TestRepairInterferenceNoOverEviction(t *testing.T) {
 					iter, n, dist, m)
 			}
 		}
+	}
+}
+
+// stepOracle is the pre-reuse Step (clone-per-offspring, scored structs,
+// fresh slices every generation), kept as the oracle for the
+// buffer-recycling implementation: same seed must yield bit-identical
+// populations, scores, and rng draw order across generations.
+func stepOracle(g *GA) {
+	offspring := make([]Matrix, 0, 2*len(g.pop))
+	for _, m := range g.pop {
+		c := m.Clone()
+		g.mutate(c)
+		g.repair(c)
+		offspring = append(offspring, c)
+	}
+	for i := 0; i < len(g.pop); i++ {
+		a := g.pop[g.tournament()]
+		b := g.pop[g.tournament()]
+		c := NewMatrix(g.prob.Jobs, len(g.prob.Capacity))
+		g.crossoverInto(c, a, b)
+		g.repair(c)
+		offspring = append(offspring, c)
+	}
+	offScores := make([]float64, len(offspring))
+	g.evalScores(offspring, offScores)
+	type scored struct {
+		m Matrix
+		f float64
+	}
+	all := make([]scored, 0, len(g.pop)+len(offspring))
+	for i, m := range g.pop {
+		all = append(all, scored{m, g.scores[i]})
+	}
+	for i, m := range offspring {
+		all = append(all, scored{m, offScores[i]})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].f > all[j].f })
+	g.pop = make([]Matrix, 0, g.opts.Population)
+	g.scores = make([]float64, 0, g.opts.Population)
+	for i := 0; i < g.opts.Population && i < len(all); i++ {
+		g.pop = append(g.pop, all[i].m)
+		g.scores = append(g.scores, all[i].f)
+	}
+}
+
+func TestStepBufferReuseBitIdentical(t *testing.T) {
+	// Every fixed-seed sim baseline depends on the GA trace staying
+	// byte-stable, so the allocation-reuse Step must match the historical
+	// clone-per-offspring implementation generation by generation.
+	newGA := func() *GA {
+		rng := rand.New(rand.NewSource(123))
+		prob := Problem{
+			Capacity:              []int{4, 4, 4, 2},
+			Jobs:                  7,
+			Fitness:               simpleFitness,
+			InterferenceAvoidance: true,
+		}
+		return New(prob, Options{Population: 24}, rng, []Matrix{NewMatrix(7, 4)})
+	}
+	got, want := newGA(), newGA()
+	for gen := 0; gen < 15; gen++ {
+		got.Step()
+		stepOracle(want)
+		if len(got.pop) != len(want.pop) {
+			t.Fatalf("gen %d: population size %d, want %d", gen, len(got.pop), len(want.pop))
+		}
+		for i := range got.pop {
+			if !got.pop[i].Equal(want.pop[i]) {
+				t.Fatalf("gen %d member %d diverges from clone-path oracle:\ngot  %v\nwant %v",
+					gen, i, got.pop[i], want.pop[i])
+			}
+			//pollux:floateq-ok bit-identity gate against the historical implementation
+			if got.scores[i] != want.scores[i] {
+				t.Fatalf("gen %d member %d score %v, want %v", gen, i, got.scores[i], want.scores[i])
+			}
+		}
+	}
+}
+
+func TestRepairInterferenceSubBlocked(t *testing.T) {
+	// Node 1 is blocked (a distributed job outside the sub-problem lives
+	// there): distributed sub-problem jobs must vacate it; the single-node
+	// job may stay.
+	m := Matrix{
+		{2, 2, 0}, // distributed: must leave node 1
+		{0, 1, 0}, // single-node: allowed to share with the outside job
+		{0, 2, 2}, // distributed: must leave node 1
+	}
+	rng := rand.New(rand.NewSource(3))
+	RepairInterferenceSub(m, rng, []bool{false, true, false}, nil)
+	if m[0][1] != 0 || m[2][1] != 0 {
+		t.Errorf("distributed jobs remain on blocked node: %v", m)
+	}
+	if m[1][1] != 1 {
+		t.Errorf("single-node job evicted from blocked node: %v", m[1])
+	}
+	if !FeasibleSub(m, []int{8, 8, 8}, true, []bool{false, true, false}, nil) {
+		t.Errorf("result infeasible: %v", m)
+	}
+}
+
+func TestRepairInterferenceSubExtraSpan(t *testing.T) {
+	// Job 0 sits on one local node but holds GPUs in another rack
+	// (ExtraSpan 1), so it is distributed; sharing node 0 with the locally
+	// distributed job 1 violates Sec. 4.2.1 and one of them must go.
+	m := Matrix{
+		{2, 0},
+		{1, 1},
+	}
+	extra := []int{1, 0}
+	rng := rand.New(rand.NewSource(4))
+	before := m.Clone()
+	RepairInterferenceSub(m, rng, nil, extra)
+	if !FeasibleSub(m, []int{4, 4}, true, nil, extra) {
+		t.Errorf("extra-span conflict not repaired: %v", m)
+	}
+	if m.Equal(before) {
+		t.Errorf("repair left conflicting matrix unchanged: %v", m)
+	}
+	// Without the extra span the same matrix is fine and must be untouched.
+	m2 := before.Clone()
+	RepairInterferenceSub(m2, rand.New(rand.NewSource(4)), nil, nil)
+	if !m2.Equal(before) {
+		t.Errorf("span-1 job evicted without extra span: %v", m2)
+	}
+}
+
+func TestRepairInterferenceSubNilMatchesBase(t *testing.T) {
+	// nil blocked/extraSpan must reproduce RepairInterference exactly,
+	// including the rng draw order.
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		jobs, nodes := 1+rng.Intn(8), 1+rng.Intn(6)
+		m := NewMatrix(jobs, nodes)
+		for j := range m {
+			for n := range m[j] {
+				if rng.Float64() < 0.45 {
+					m[j][n] = 1 + rng.Intn(3)
+				}
+			}
+		}
+		ref := m.Clone()
+		seed := rng.Int63()
+		RepairInterferenceSub(m, rand.New(rand.NewSource(seed)), nil, nil)
+		repairInterferenceStable(ref, rand.New(rand.NewSource(seed)))
+		if !m.Equal(ref) {
+			t.Fatalf("iter %d: nil-constraint sub repair diverges from oracle\ngot  %v\nwant %v", iter, m, ref)
+		}
+	}
+}
+
+func TestSparseMutationSameDistribution(t *testing.T) {
+	// The geometric-gap sampler must realize the same per-cell mutation
+	// rate (1/N) as the dense Bernoulli scan. Count mutated cells over
+	// many offspring for both modes and compare against the binomial
+	// expectation. Capacities are large so a mutation draw almost never
+	// reproduces the old value.
+	count := func(sparse bool) int {
+		rng := rand.New(rand.NewSource(55))
+		prob := Problem{Capacity: []int{100, 100, 100, 100, 100, 100, 100, 100}, Jobs: 8, Fitness: simpleFitness}
+		g := &GA{prob: prob, opts: Options{SparseMutation: sparse}, rng: rng}
+		mut := 0
+		for trial := 0; trial < 2000; trial++ {
+			m := NewMatrix(prob.Jobs, len(prob.Capacity))
+			for j := range m {
+				for n := range m[j] {
+					m[j][n] = -1 // sentinel no rng draw can produce
+				}
+			}
+			g.mutate(m)
+			for j := range m {
+				for n := range m[j] {
+					if m[j][n] != -1 {
+						mut++
+					}
+				}
+			}
+		}
+		return mut
+	}
+	dense, sparse := count(false), count(true)
+	// 2000 trials × 64 cells × 1/8 = 16000 expected mutations; σ ≈ 118.
+	// Accept ±5σ ≈ ±600 for each mode.
+	for _, c := range []struct {
+		name string
+		n    int
+	}{{"dense", dense}, {"sparse", sparse}} {
+		if c.n < 15400 || c.n > 16600 {
+			t.Errorf("%s mutation count = %d, want ≈16000 (rate 1/N violated)", c.name, c.n)
+		}
+	}
+}
+
+func TestSparseMutationSingleNode(t *testing.T) {
+	// p = 1/N = 1 at a single node: every cell must mutate, as in the
+	// dense scan.
+	rng := rand.New(rand.NewSource(56))
+	prob := Problem{Capacity: []int{50}, Jobs: 5, Fitness: simpleFitness}
+	g := &GA{prob: prob, opts: Options{SparseMutation: true}, rng: rng}
+	m := NewMatrix(5, 1)
+	for j := range m {
+		m[j][0] = -1
+	}
+	g.mutate(m)
+	for j := range m {
+		if m[j][0] == -1 {
+			t.Errorf("job %d cell not mutated at nodes=1", j)
+		}
+	}
+}
+
+func TestSparseMutationGAFeasibleAndImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	prob := Problem{
+		Capacity:              []int{4, 4, 4, 4},
+		Jobs:                  6,
+		Fitness:               simpleFitness,
+		InterferenceAvoidance: true,
+	}
+	g := New(prob, Options{Population: 30, SparseMutation: true}, rng, nil)
+	_, before := g.Best()
+	best, after := g.Run(40)
+	if after < before {
+		t.Errorf("fitness decreased under sparse mutation: %v -> %v", before, after)
+	}
+	if !Feasible(best, prob.Capacity, true) {
+		t.Errorf("best matrix infeasible: %v", best)
+	}
+}
+
+func TestStatsCountFitnessWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	prob := Problem{Capacity: []int{4, 4, 4}, Jobs: 5, Fitness: simpleFitness}
+	g := New(prob, Options{Population: 10}, rng, nil)
+	s := g.Stats()
+	if s.FitnessCalls != 10 {
+		t.Errorf("initial FitnessCalls = %d, want 10", s.FitnessCalls)
+	}
+	if want := int64(10 * 5 * 3); s.CellsScored != want {
+		t.Errorf("initial CellsScored = %d, want %d", s.CellsScored, want)
+	}
+	g.Step()
+	s = g.Stats()
+	if want := int64(10 + 20); s.FitnessCalls != want {
+		t.Errorf("FitnessCalls after one generation = %d, want %d", s.FitnessCalls, want)
+	}
+	if want := int64(30 * 5 * 3); s.CellsScored != want {
+		t.Errorf("CellsScored after one generation = %d, want %d", s.CellsScored, want)
 	}
 }

@@ -158,6 +158,12 @@ func Compare(base, cur Report, opts Options) Comparison {
 				})
 				continue
 			}
+			if bm.Volatile || cm.Volatile {
+				// Wall-clock-style measurements: existence is gated (we
+				// got here, so both sides have the metric), values never.
+				c.Matched++
+				continue
+			}
 			rel := math.Max(bm.RelTol, cm.RelTol)
 			abs := math.Max(bm.AbsTol, cm.AbsTol)
 			if within(bm.Value, cm.Value, rel, abs) {

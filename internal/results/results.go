@@ -37,6 +37,12 @@ type Metric struct {
 	// value b: |v-b| <= RelTol*max(|v|,|b|) + AbsTol.
 	RelTol float64 `json:"relTol,omitempty"`
 	AbsTol float64 `json:"absTol,omitempty"`
+	// Volatile marks a measurement that varies run to run on an unchanged
+	// tree — wall-clock times, allocation counts. The gate still checks
+	// the metric exists (so a benchmark cannot silently stop reporting)
+	// but never compares its value, and Canonical zeroes it so baselines
+	// stay bit-reproducible.
+	Volatile bool `json:"volatile,omitempty"`
 }
 
 // Record is one exhibit run: identity, the configuration axes that
@@ -101,9 +107,10 @@ func (rep Report) Find(exhibit string) (Record, bool) {
 }
 
 // Canonical returns a copy suitable for checking in as a baseline: all
-// volatile fields (timestamps, git identity, Go version, wall clock) are
-// zeroed, notes are dropped, and metrics are sorted, so regenerating an
-// unchanged tree reproduces the file bit for bit.
+// volatile fields (timestamps, git identity, Go version, wall clock, and
+// the values of Volatile metrics) are zeroed, notes are dropped, and
+// metrics are sorted, so regenerating an unchanged tree reproduces the
+// file bit for bit.
 func (rep Report) Canonical() Report {
 	out := Report{Scale: rep.Scale, Records: make([]Record, len(rep.Records))}
 	for i, r := range rep.Records {
@@ -111,6 +118,11 @@ func (rep Report) Canonical() Report {
 		cr.WallClockSec = 0
 		cr.Notes = nil
 		cr.Metrics = append([]Metric(nil), r.Metrics...)
+		for j := range cr.Metrics {
+			if cr.Metrics[j].Volatile {
+				cr.Metrics[j].Value = 0
+			}
+		}
 		(&cr).SortMetrics()
 		out.Records[i] = cr
 	}

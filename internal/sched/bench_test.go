@@ -49,6 +49,44 @@ func BenchmarkPolluxScheduleWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkPolluxScheduleIncremental compares one steady-state scheduling
+// round at production-ish scale (128 nodes, 256 jobs) across the three
+// optimizer modes: the paper's full re-optimization, dirty-set
+// incremental rounds, and incremental + rack-hierarchical decomposition.
+// Each round refits one job's model (the typical between-round churn), so
+// the incremental modes re-place a small dirty set instead of the whole
+// cluster. cells/round is the GA fitness work per round (matrix cells
+// scored, deterministic for a fixed seed); the full/incremental ratio is
+// the headline reduction the mega exhibit measures at 512-1024 nodes.
+func BenchmarkPolluxScheduleIncremental(b *testing.B) {
+	modes := []struct {
+		name string
+		opts PolluxOptions
+	}{
+		{"full", PolluxOptions{}},
+		{"incremental", PolluxOptions{Incremental: true, FullEvery: -1}},
+		{"incremental+rack", PolluxOptions{Incremental: true, FullEvery: -1, RackSize: 16}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := mode.opts
+			opts.Population, opts.Generations = 30, 20
+			p := NewPollux(opts, 1)
+			v := viewWith(256, 128, 4)
+			v.Current = p.Schedule(v) // commit the first full round
+			var cells int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Jobs[i%len(v.Jobs)].Model.Phi *= 1.001 // one agent refit per round
+				out := p.Schedule(v)
+				v.Current = out
+				cells += p.LastRoundStats().FitnessCells
+			}
+			b.ReportMetric(float64(cells)/float64(b.N), "cells/round")
+		})
+	}
+}
+
 func BenchmarkTiresiasSchedule(b *testing.B) {
 	v := viewWith(20, 16, 4)
 	t := NewTiresias()

@@ -1,0 +1,669 @@
+package sched
+
+// Incremental and rack-hierarchical scheduling rounds for PolluxSched.
+//
+// The paper's scheduler re-optimizes every job's placement with a fresh
+// cluster-wide GA each interval; at the 16–64 node exhibit scale that is
+// fine, but each round costs O(population × generations × jobs × nodes)
+// fitness cells and the same order of rng draws, which dominates wall
+// clock at the 512–1024 node scale. Two observations make rounds cheap:
+//
+//  1. Incremental rounds. Between rounds most jobs are unchanged: the
+//     committed row, the fitted model, and the demand of a queued or
+//     steadily-running job are all the same as last interval, and a row
+//     that does not move contributes a constant to the Eqn. 14 objective.
+//     So each round computes a dirty set — jobs whose model, phase, or
+//     demand changed since the last committed matrix, their placement
+//     neighbors, and a bounded batch of queued jobs competing for freed
+//     capacity — and re-places only those against the residual capacity,
+//     carrying every clean row forward verbatim. A FullEvery cadence
+//     forces periodic full re-optimizations so incremental never drifts
+//     far from the global optimum.
+//
+//  2. Hierarchical decomposition. With racks of RackSize nodes, a coarse
+//     GA assigns each re-placed job GPU counts per rack (racks as
+//     super-nodes, priced by the Sec. 3.2 rack-locality extension via
+//     speedupTable.SpeedupRack), then an independent small GA per rack
+//     refines node placements. The search space drops from O(nodes) to
+//     O(racks) + O(nodes/rack) per matrix row.
+//
+// Both paths are opt-in (PolluxOptions.Incremental / RackSize): the
+// default full re-optimization stays bit-identical to the historical
+// scheduler, which every fixed-seed baseline trace depends on.
+
+import (
+	"repro/internal/core"
+	"repro/internal/ga"
+)
+
+// jobSig is the per-job change signature for dirty detection: a refit
+// (Params or φt move), an exploration-cap change, or a demand change all
+// alter it.
+type jobSig struct {
+	model   core.Model
+	gpuCap  int
+	minGPUs int
+}
+
+// incState is the cross-round dirty-set state: the committed matrix and
+// job signatures as of the last Schedule call, keyed by stable job ID.
+type incState struct {
+	ids   []int
+	sigs  []jobSig
+	rows  ga.Matrix   // committed rows aligned with ids
+	index map[int]int // job ID → position in ids (lookups only)
+	cap   []int
+}
+
+// seedCellBudget bounds the matrix cells carried over as GA seeds after
+// an incremental round: at mega scale a full population of job × node
+// matrices is hundreds of MB, so carryover degrades gracefully toward
+// champion-only as matrices grow.
+const seedCellBudget = 16 << 20
+
+// scheduleIncremental is Schedule for Incremental/RackSize mode: decide
+// full vs. incremental, solve, compose, and commit the dirty-set state.
+func (p *Pollux) scheduleIncremental(v *ClusterView) ga.Matrix {
+	nJobs := len(v.Jobs)
+	nodes := len(v.Capacity)
+
+	full := p.inc == nil || !sameCapacity(p.inc.cap, v.Capacity) ||
+		v.Current == nil || len(v.Current) != nJobs ||
+		(p.opts.FullEvery > 0 && p.sinceFull >= p.opts.FullEvery)
+
+	if !full {
+		sub := p.dirtySet(v)
+		switch {
+		case sub == nil:
+			full = true // dirty majority: a full round does less redundant work
+		case len(sub) == 0:
+			// Nothing changed anywhere: carry the allocation forward
+			// without running any GA.
+			p.lastStats.Full = false
+			p.lastStats.Skipped = true
+			p.lastStats.Sub = 0
+			out := v.Current.Clone()
+			p.commitState(v, out)
+			p.sinceFull++
+			return out
+		default:
+			p.lastStats.Full = false
+			p.lastStats.Sub = len(sub)
+			if out := p.solveSub(v, sub); out != nil {
+				p.commitState(v, out)
+				p.sinceFull++
+				return out
+			}
+			// The composed matrix failed the defensive feasibility
+			// check; fall through to a full round.
+			full = true
+		}
+	}
+
+	p.sinceFull = 0
+	p.lastStats.Full = true
+	p.lastStats.Skipped = false
+	p.lastStats.Sub = nJobs
+	var out ga.Matrix
+	if p.hierarchical(nodes) {
+		all := make([]int, nJobs)
+		for i := range all {
+			all[i] = i
+		}
+		out = p.solveSub(v, all)
+	}
+	if out == nil {
+		out = p.scheduleFlat(v)
+	}
+	p.commitState(v, out)
+	return out
+}
+
+// hierarchical reports whether rack decomposition applies: it needs at
+// least two racks to decompose.
+func (p *Pollux) hierarchical(nodes int) bool {
+	return p.opts.RackSize > 0 && nodes >= 2*p.opts.RackSize
+}
+
+func sameCapacity(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// commitState records the committed matrix and job signatures for the
+// next round's dirty-set computation. The matrix is cloned: the caller
+// owns the returned allocation.
+func (p *Pollux) commitState(v *ClusterView, out ga.Matrix) {
+	jobs := v.Jobs
+	st := &incState{
+		ids:   make([]int, len(jobs)),
+		sigs:  make([]jobSig, len(jobs)),
+		rows:  out.Clone(),
+		index: make(map[int]int, len(jobs)),
+		cap:   append([]int(nil), v.Capacity...),
+	}
+	for i, j := range jobs {
+		st.ids[i] = j.ID
+		st.sigs[i] = jobSig{model: j.Model, gpuCap: j.GPUCap, minGPUs: j.MinGPUs}
+		st.index[j.ID] = i
+	}
+	p.inc = st
+}
+
+// dirtySet returns the view indices to re-place this round, in view
+// order: jobs whose signature changed (agent refit, demand change), jobs
+// whose live allocation no longer matches the committed row (restart or
+// external change), new jobs, clean jobs with GPUs on affected nodes
+// (placement neighbors of changes and departures, one hop), and up to
+// QueuedPerRound clean queued jobs competing for freed capacity. An
+// empty set means nothing changed at all. A nil return means the dirty
+// jobs are the majority, so the caller should run a full round instead.
+func (p *Pollux) dirtySet(v *ClusterView) []int {
+	st := p.inc
+	jobs := v.Jobs
+	dirty := make([]bool, len(jobs))
+	affected := make([]bool, len(v.Capacity))
+	anyChange := false
+	markRow := func(row []int) {
+		for n, g := range row {
+			if g > 0 {
+				affected[n] = true
+			}
+		}
+	}
+	live := make(map[int]bool, len(jobs))
+	for i, j := range jobs {
+		live[j.ID] = true
+		pi, ok := st.index[j.ID]
+		switch {
+		case !ok:
+			dirty[i] = true // arrival
+		case st.sigs[pi] != (jobSig{model: j.Model, gpuCap: j.GPUCap, minGPUs: j.MinGPUs}):
+			dirty[i] = true // refit or demand change
+			markRow(st.rows[pi])
+		case !samePlacementRow(v.Current[i], st.rows[pi]):
+			dirty[i] = true // restarted or moved outside the scheduler
+			markRow(st.rows[pi])
+		}
+		if dirty[i] {
+			anyChange = true
+			markRow(v.Current[i])
+		}
+	}
+	// Departed jobs free their nodes for neighbors to claim.
+	for pi, id := range st.ids {
+		if !live[id] {
+			anyChange = true
+			markRow(st.rows[pi])
+		}
+	}
+	if !anyChange {
+		return []int{}
+	}
+	sub := make([]int, 0, len(jobs))
+	queued := 0
+	for i := range jobs {
+		if !dirty[i] {
+			if PlacementOf(v.Current[i]).GPUs == 0 {
+				// Clean queued job: a bounded batch per round may compete
+				// for the capacity this round frees.
+				if p.opts.QueuedPerRound < 0 || queued < p.opts.QueuedPerRound {
+					queued++
+					dirty[i] = true
+				}
+			} else {
+				for n, g := range v.Current[i] {
+					if g > 0 && affected[n] {
+						dirty[i] = true // placement neighbor
+						break
+					}
+				}
+			}
+		}
+		if dirty[i] {
+			sub = append(sub, i)
+		}
+	}
+	if 4*len(sub) > 3*len(jobs) {
+		return nil
+	}
+	return sub
+}
+
+// solveSub re-places the sub jobs (view indices, ascending) against the
+// residual capacity left by the clean rows, which carry forward
+// verbatim; a full round passes every index. Clean rows contribute a
+// constant to Eqn. 14, so optimizing the sub rows alone optimizes the
+// full objective over this round's allowed moves. Returns the composed
+// full matrix, or nil if it fails the defensive feasibility check.
+func (p *Pollux) solveSub(v *ClusterView, sub []int) ga.Matrix {
+	jobs := v.Jobs
+	nodes := len(v.Capacity)
+	inSub := make([]bool, len(jobs))
+	for _, i := range sub {
+		inSub[i] = true
+	}
+
+	// Residual capacity and interference context from the clean rows.
+	residual := append([]int(nil), v.Capacity...)
+	distBlocked := make([]bool, nodes)
+	for i := range jobs {
+		if inSub[i] || v.Current == nil || i >= len(v.Current) {
+			continue
+		}
+		row := v.Current[i]
+		span := 0
+		for _, g := range row {
+			if g > 0 {
+				span++
+			}
+		}
+		for n, g := range row {
+			if g > 0 {
+				residual[n] -= g
+				if span > 1 {
+					distBlocked[n] = true
+				}
+			}
+		}
+	}
+	for n := range residual {
+		if residual[n] < 0 {
+			residual[n] = 0 // defensive: live matrix over capacity
+		}
+	}
+
+	tables, weights, sumW := p.roundTables(v)
+
+	// Current rows and placements of the sub jobs, for restart penalties
+	// and seeding.
+	cur := make(ga.Matrix, len(sub))
+	curPl := make([]core.Placement, len(sub))
+	zero := make([]int, nodes)
+	for si, i := range sub {
+		if v.Current != nil && i < len(v.Current) {
+			cur[si] = v.Current[i]
+		} else {
+			cur[si] = zero
+		}
+		curPl[si] = PlacementOf(cur[si])
+	}
+
+	var rows ga.Matrix
+	var pop []ga.Matrix
+	if p.hierarchical(nodes) {
+		rows = p.solveHier(v, sub, residual, distBlocked, tables, weights, sumW, cur, curPl)
+	} else {
+		rows, pop = p.solveFlatSub(v, sub, residual, distBlocked, tables, weights, sumW, cur, curPl)
+	}
+
+	// Compose: clean rows verbatim, sub rows from the solver.
+	compose := func(subRows ga.Matrix) ga.Matrix {
+		out := ga.NewMatrix(len(jobs), nodes)
+		for i := range jobs {
+			if !inSub[i] && v.Current != nil && i < len(v.Current) {
+				copy(out[i], v.Current[i])
+			}
+		}
+		for si, i := range sub {
+			copy(out[i], subRows[si])
+		}
+		return out
+	}
+	out := compose(rows)
+	if !feasibleComposed(out, v.Capacity, !p.opts.DisableInterferenceAvoidance) {
+		return nil
+	}
+
+	// Seed carryover: compose the leading sub-population members (best
+	// first) into full matrices for the next round, within the cell
+	// budget — at least the champion always carries.
+	keep := 1
+	if cells := len(jobs) * nodes; cells > 0 {
+		keep = max(1, seedCellBudget/cells)
+	}
+	carried := []ga.Matrix{out.Clone()}
+	for _, m := range pop {
+		if len(carried) >= keep {
+			break
+		}
+		if m.Equal(rows) {
+			continue // the champion is already carried
+		}
+		carried = append(carried, compose(m))
+	}
+	p.prevPop = carried
+	p.prevJobs = make([]int, len(jobs))
+	for i, j := range jobs {
+		p.prevJobs[i] = j.ID
+	}
+	return out
+}
+
+// solveFlatSub runs one GA over the sub rows × all nodes. Used when rack
+// decomposition is off (or the cluster is below two racks); the win over
+// a full round is the smaller row count. Returns the best sub-row matrix
+// and the GA's final population (borrowed, sorted best-first).
+func (p *Pollux) solveFlatSub(v *ClusterView, sub []int, residual []int, distBlocked []bool,
+	tables []*speedupTable, weights []float64, sumW float64, cur ga.Matrix, curPl []core.Placement) (ga.Matrix, []ga.Matrix) {
+	fitness := func(m ga.Matrix) float64 {
+		total := 0.0
+		for si, i := range sub {
+			pl := PlacementOf(m[si])
+			s := tables[i].Speedup(pl.GPUs, pl.Nodes)
+			if curPl[si].GPUs > 0 && !samePlacementRow(m[si], cur[si]) {
+				s -= p.opts.RestartPenalty
+			}
+			total += weights[i] * s
+		}
+		return total / sumW
+	}
+	prob := ga.Problem{
+		Capacity:              residual,
+		Jobs:                  len(sub),
+		Fitness:               fitness,
+		InterferenceAvoidance: !p.opts.DisableInterferenceAvoidance,
+		DistBlocked:           distBlocked,
+	}
+	seeds := append([]ga.Matrix{cur}, p.subSeeds(v, sub)...)
+	g := ga.New(prob, ga.Options{
+		Population:     p.opts.Population,
+		Workers:        p.opts.Workers,
+		SparseMutation: true,
+	}, p.rng, seeds)
+	best, _ := g.Run(p.opts.Generations)
+	p.addStats(g.Stats())
+	return best.Clone(), g.Population()
+}
+
+// subSeeds projects the carried population onto the sub jobs' rows, by
+// job ID as in remapSeeds, so seeds survive arrivals, departures, and
+// sparse or reordered IDs.
+func (p *Pollux) subSeeds(v *ClusterView, sub []int) []ga.Matrix {
+	if p.prevPop == nil {
+		return nil
+	}
+	nodes := len(v.Capacity)
+	prevIndex := make(map[int]int, len(p.prevJobs))
+	for i, id := range p.prevJobs {
+		prevIndex[id] = i
+	}
+	seeds := make([]ga.Matrix, 0, len(p.prevPop))
+	for _, prev := range p.prevPop {
+		m := ga.NewMatrix(len(sub), nodes)
+		for si, i := range sub {
+			if pi, ok := prevIndex[v.Jobs[i].ID]; ok && pi < len(prev) && len(prev[pi]) == nodes {
+				copy(m[si], prev[pi])
+			}
+		}
+		seeds = append(seeds, m)
+	}
+	return seeds
+}
+
+// feasibleComposed is ga.Feasible with per-job spans precomputed once:
+// the generic check recomputes JobNodes per (node, job) pair, which is
+// O(jobs × nodes²) — minutes at 512 nodes × 10k jobs, where this pass
+// is O(jobs × nodes).
+func feasibleComposed(m ga.Matrix, capacity []int, avoidance bool) bool {
+	usage := make([]int, len(capacity))
+	span := make([]int, len(m))
+	for j := range m {
+		for n, g := range m[j] {
+			if g > 0 {
+				usage[n] += g
+				span[j]++
+			}
+		}
+	}
+	for n := range capacity {
+		if usage[n] > capacity[n] {
+			return false
+		}
+	}
+	if avoidance {
+		distOn := make([]int, len(capacity))
+		for j := range m {
+			if span[j] <= 1 {
+				continue
+			}
+			for n, g := range m[j] {
+				if g > 0 {
+					distOn[n]++
+					if distOn[n] > 1 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// solveHier is the two-level solve: a coarse GA assigns each sub job GPU
+// counts per rack, then an independent small GA per rack refines node
+// placements within the coarse assignment. Returns the sub-row matrix
+// (len(sub) × nodes).
+func (p *Pollux) solveHier(v *ClusterView, sub []int, residual []int, distBlocked []bool,
+	tables []*speedupTable, weights []float64, sumW float64, cur ga.Matrix, curPl []core.Placement) ga.Matrix {
+	nodes := len(v.Capacity)
+	size := p.opts.RackSize
+	racks := (nodes + size - 1) / size
+
+	rackCap := make([]int, racks)   // residual GPUs per rack
+	rackNodes := make([]int, racks) // nodes per rack
+	rackMaxPer := make([]int, racks)
+	for n := 0; n < nodes; n++ {
+		r := n / size
+		rackCap[r] += residual[n]
+		rackNodes[r]++
+		if v.Capacity[n] > rackMaxPer[r] {
+			rackMaxPer[r] = v.Capacity[n]
+		}
+	}
+
+	// The coarse fitness fans out over workers; allocate the cross-rack
+	// table layers serially first.
+	for _, i := range sub {
+		tables[i].ensureRack(p.opts.RackPenalty)
+	}
+
+	// estNodes estimates the nodes g GPUs occupy in rack r when packed
+	// densely (the refinement pass prefers dense packings, so this is
+	// the span the coarse pass should price).
+	estNodes := func(r, g int) int {
+		if g <= 0 {
+			return 0
+		}
+		per := rackMaxPer[r]
+		if per <= 0 {
+			return rackNodes[r]
+		}
+		return min((g+per-1)/per, rackNodes[r])
+	}
+
+	// Current coarse assignment: sub jobs' rows aggregated by rack.
+	curCoarse := ga.NewMatrix(len(sub), racks)
+	for si := range sub {
+		for n, g := range cur[si] {
+			if g > 0 {
+				curCoarse[si][n/size] += g
+			}
+		}
+	}
+
+	coarseFitness := func(m ga.Matrix) float64 {
+		total := 0.0
+		for si, i := range sub {
+			k, nd, spanned := 0, 0, 0
+			for r, g := range m[si] {
+				if g > 0 {
+					k += g
+					nd += estNodes(r, g)
+					spanned++
+				}
+			}
+			s := tables[i].SpeedupRack(k, nd, spanned)
+			if curPl[si].GPUs > 0 && !samePlacementRow(m[si], curCoarse[si]) {
+				s -= p.opts.RestartPenalty
+			}
+			total += weights[i] * s
+		}
+		return total / sumW
+	}
+	// Interference is a node-granularity constraint; at rack granularity
+	// it would forbid valid placements, so the coarse pass skips it and
+	// the refinement passes enforce it.
+	cg := ga.New(ga.Problem{
+		Capacity: rackCap,
+		Jobs:     len(sub),
+		Fitness:  coarseFitness,
+	}, ga.Options{
+		Population:     p.opts.Population,
+		Workers:        p.opts.Workers,
+		SparseMutation: true,
+	}, p.rng, []ga.Matrix{curCoarse})
+	coarse, _ := cg.Run(p.opts.Generations)
+	p.addStats(cg.Stats())
+
+	// Per-job cross-rack aggregates fixed by the coarse assignment.
+	totalK := make([]int, len(sub))
+	spannedRacks := make([]int, len(sub))
+	estSpan := make([]int, len(sub)) // estimated nodes across all racks
+	for si := range sub {
+		for r, g := range coarse[si] {
+			if g > 0 {
+				totalK[si] += g
+				spannedRacks[si]++
+				estSpan[si] += estNodes(r, g)
+			}
+		}
+	}
+
+	rows := ga.NewMatrix(len(sub), nodes)
+	refined := 0
+	for r := 0; r < racks; r++ {
+		if p.refineRack(v, sub, r, coarse, cur, curPl, curCoarse, residual, distBlocked,
+			tables, weights, sumW, totalK, spannedRacks, estSpan, estNodes, rows) {
+			refined++
+		}
+	}
+	p.lastStats.Racks = refined
+	return rows
+}
+
+// refineRack runs the within-rack GA for rack r over the jobs the coarse
+// pass assigned GPUs there, writing their node placements into rows.
+// Reports whether the rack had any members to refine.
+func (p *Pollux) refineRack(v *ClusterView, sub []int, r int, coarse, cur ga.Matrix,
+	curPl []core.Placement, curCoarse ga.Matrix, residual []int, distBlocked []bool,
+	tables []*speedupTable, weights []float64, sumW float64,
+	totalK, spannedRacks, estSpan []int, estNodes func(int, int) int, rows ga.Matrix) bool {
+	size := p.opts.RackSize
+	nodes := len(v.Capacity)
+	n0 := r * size
+	n1 := min(n0+size, nodes)
+	width := n1 - n0
+
+	var members []int // indices into sub
+	for si := range sub {
+		if coarse[si][r] > 0 {
+			members = append(members, si)
+		}
+	}
+	if len(members) == 0 {
+		return false
+	}
+
+	localCap := residual[n0:n1]
+	blocked := distBlocked[n0:n1]
+
+	// Fixed cross-rack context per member: GPUs and estimated nodes the
+	// coarse assignment places in other racks, and whether those other-
+	// rack shares differ from the current allocation (which forces a
+	// restart regardless of the local outcome).
+	otherK := make([]int, len(members))
+	extraNodes := make([]int, len(members))
+	otherRacks := make([]int, len(members))
+	otherChanged := make([]bool, len(members))
+	curLocal := make(ga.Matrix, len(members))
+	for mi, si := range members {
+		local := coarse[si][r]
+		otherK[mi] = totalK[si] - local
+		extraNodes[mi] = estSpan[si] - estNodes(r, local)
+		otherRacks[mi] = spannedRacks[si] - 1
+		for rr := range coarse[si] {
+			if rr != r && coarse[si][rr] != curCoarse[si][rr] {
+				otherChanged[mi] = true
+				break
+			}
+		}
+		curLocal[mi] = cur[si][n0:n1]
+	}
+
+	fitness := func(m ga.Matrix) float64 {
+		total := 0.0
+		for mi, si := range members {
+			localK, localN := 0, 0
+			for _, g := range m[mi] {
+				if g > 0 {
+					localK += g
+					localN++
+				}
+			}
+			k := localK + otherK[mi]
+			span := localN + extraNodes[mi]
+			rk := otherRacks[mi]
+			if localK > 0 {
+				rk++
+			}
+			s := tables[sub[si]].SpeedupRack(k, span, rk)
+			if curPl[si].GPUs > 0 && (otherChanged[mi] || !samePlacementRow(m[mi], curLocal[mi])) {
+				s -= p.opts.RestartPenalty
+			}
+			total += weights[sub[si]] * s
+		}
+		return total / sumW
+	}
+
+	// Seeds: the current local segments, and the coarse shares packed
+	// densely onto the rack's freest nodes.
+	seedCur := make(ga.Matrix, len(members))
+	for mi := range members {
+		seedCur[mi] = curLocal[mi]
+	}
+	seedPack := ga.NewMatrix(len(members), width)
+	free := append([]int(nil), localCap...)
+	for mi, si := range members {
+		if row := packJob(free, coarse[si][r]); row != nil {
+			copy(seedPack[mi], row)
+		}
+	}
+
+	rg := ga.New(ga.Problem{
+		Capacity:              localCap,
+		Jobs:                  len(members),
+		Fitness:               fitness,
+		InterferenceAvoidance: !p.opts.DisableInterferenceAvoidance,
+		DistBlocked:           blocked,
+		ExtraSpan:             extraNodes,
+	}, ga.Options{
+		Population:     p.opts.RefinePop,
+		Workers:        p.opts.Workers,
+		SparseMutation: true,
+	}, p.rng, []ga.Matrix{seedCur, seedPack})
+	best, _ := rg.Run(p.opts.RefineGens)
+	p.addStats(rg.Stats())
+
+	for mi, si := range members {
+		copy(rows[si][n0:n1], best[mi])
+	}
+	return true
+}

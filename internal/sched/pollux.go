@@ -38,6 +38,42 @@ type PolluxOptions struct {
 	// evaluation; default GOMAXPROCS. Results are bit-identical across
 	// worker counts (see ga.Options.Workers).
 	Workers int
+
+	// Incremental enables dirty-set scheduling rounds: only jobs whose
+	// fitted model, phase, or demand changed since the last committed
+	// matrix — plus their placement neighbors — are re-placed; clean rows
+	// carry forward verbatim. Off by default: the default full
+	// re-optimization keeps every fixed-seed baseline trace bit-stable.
+	Incremental bool
+	// FullEvery forces a full re-optimization every FullEvery-th
+	// incremental round so incremental never drifts from the global
+	// optimum. Zero takes the default of 10; negative means never force
+	// one (for experiments isolating the incremental path).
+	FullEvery int
+	// QueuedPerRound caps how many clean zero-allocation (queued) jobs
+	// are pulled into each incremental round to compete for freed
+	// capacity, in snapshot order. Zero takes the default of 64; negative
+	// means unlimited.
+	QueuedPerRound int
+	// RackSize, when > 0, enables hierarchical decomposition for
+	// clusters of at least two racks: a coarse GA assigns jobs to racks
+	// of RackSize contiguous nodes (priced by the Sec. 3.2 rack-locality
+	// extension), then small per-rack GAs refine node placements,
+	// cutting the per-round search space from O(nodes) to
+	// O(racks) + O(nodes/rack).
+	RackSize int
+	// RackPenalty scales the fitted node-tier sync parameters into the
+	// derived cross-rack tier (core.DeriveRackParams): cross-rack hops
+	// cost RackPenalty× the intra-rack ones. Zero takes the default of
+	// 2; a negative value means an explicit factor of zero (rack spans
+	// priced like node spans).
+	RackPenalty float64
+	// RefinePop and RefineGens size the per-rack refinement GAs; they
+	// default to 16 and 10. The coarse rack-assignment pass uses the
+	// main Population/Generations (its matrices are racks wide, not
+	// nodes, so it is cheap regardless).
+	RefinePop  int
+	RefineGens int
 }
 
 func (o *PolluxOptions) defaults() {
@@ -57,6 +93,27 @@ func (o *PolluxOptions) defaults() {
 	} else if o.GPUTimeThres == 0 {
 		o.GPUTimeThres = 4 * 3600 // 4 GPU-hours
 	}
+	if o.FullEvery == 0 {
+		o.FullEvery = 10
+	} else if o.FullEvery < 0 {
+		o.FullEvery = -1 // never force a full round
+	}
+	if o.QueuedPerRound == 0 {
+		o.QueuedPerRound = 64
+	} else if o.QueuedPerRound < 0 {
+		o.QueuedPerRound = -1 // unlimited
+	}
+	if o.RackPenalty < 0 {
+		o.RackPenalty = 0
+	} else if o.RackPenalty == 0 {
+		o.RackPenalty = 2
+	}
+	if o.RefinePop <= 0 {
+		o.RefinePop = 16
+	}
+	if o.RefineGens <= 0 {
+		o.RefineGens = 10
+	}
 }
 
 // Pollux is the co-adaptive scheduler (Sec. 4.2). It keeps its GA
@@ -75,7 +132,39 @@ type Pollux struct {
 	// keyed by job ID. An entry is reused only while the job's reported
 	// model and the table dimensions are unchanged (see cachedTable).
 	tables map[int]*speedupTable
+
+	// inc is the dirty-set state for Incremental mode (see
+	// incremental.go); nil until the first incremental round commits.
+	inc *incState
+	// sinceFull counts incremental rounds since the last full
+	// re-optimization, driving the FullEvery cadence.
+	sinceFull int
+	// lastStats describes the most recent Schedule call (see RoundStats).
+	lastStats RoundStats
 }
+
+// RoundStats summarizes the work done by one Schedule call; experiments
+// and benchmarks read it through LastRoundStats to report per-round
+// fitness work and dirty-set sizes.
+type RoundStats struct {
+	Jobs int // jobs in the view
+	Sub  int // jobs re-placed (== Jobs on a full round)
+	// Racks is the number of racks refined (0 when hierarchy is off).
+	Racks int
+	// Full reports a full re-optimization (the only kind in default
+	// mode); Skipped reports an incremental round with an empty dirty
+	// set, which returned the current allocation without running any GA.
+	Full    bool
+	Skipped bool
+	// FitnessCalls and FitnessCells total the GA fitness work across
+	// every pass of the round (coarse, refinement, and flat); cells are
+	// calls weighted by the scored matrix area (see ga.Stats).
+	FitnessCalls int64
+	FitnessCells int64
+}
+
+// LastRoundStats returns the stats of the most recent Schedule call.
+func (p *Pollux) LastRoundStats() RoundStats { return p.lastStats }
 
 // NewPollux creates a PolluxSched instance with its own deterministic RNG.
 func NewPollux(opts PolluxOptions, seed int64) *Pollux {
@@ -96,13 +185,29 @@ func (p *Pollux) AdaptsBatchSize() bool { return true }
 // atomic float64 bit patterns so concurrent fitness workers can fill the
 // table race-free: the model is a pure function, so two workers computing
 // the same cell store bit-identical values and either store may win.
+//
+// The cell array is triangular, not dense: K only goes up to the job's
+// exploration cap (placements beyond it score zero without a lookup), and
+// a K-GPU row only needs N ≤ min(K, nodes) columns (more nodes than GPUs
+// is not a valid placement). The former dense (totalGPUs+1)×(nodes+1)
+// layout cost ~8 MB per job at 512 nodes — ~80 GB across a 10k-job
+// backlog — where the triangular one is a few KB.
 type speedupTable struct {
 	model  core.Model
 	gpuCap int
 	denom  float64 // max_m GOODPUT(1, m)
 	cells  []uint64
+	offs   []int // offs[k] = index of cell (k, 0); row width min(k, nodes)+1
 	nodes  int
 	maxK   int
+	kCap   int // min(maxK, gpuCap): the largest K with a row
+
+	// rackCells is the cross-rack layer used by the hierarchical coarse
+	// pass, indexed like cells; nil until ensureRack. One layer covers
+	// every multi-rack span because the derived three-tier TSync does not
+	// depend on how many racks are crossed, only whether more than one is.
+	rackCells  []uint64
+	rackParams core.RackParams
 }
 
 // unsetCell marks a cell not yet computed. Speedups are finite and
@@ -111,7 +216,17 @@ var unsetCell = math.Float64bits(-1)
 
 func newSpeedupTable(model core.Model, gpuCap, maxK, nodes int) *speedupTable {
 	t := &speedupTable{model: model, gpuCap: gpuCap, nodes: nodes, maxK: maxK}
-	t.cells = make([]uint64, (maxK+1)*(nodes+1))
+	t.kCap = min(maxK, gpuCap)
+	if t.kCap < 0 {
+		t.kCap = 0
+	}
+	t.offs = make([]int, t.kCap+1)
+	total := 0
+	for k := 0; k <= t.kCap; k++ {
+		t.offs[k] = total
+		total += min(k, nodes) + 1
+	}
+	t.cells = make([]uint64, total)
 	for i := range t.cells {
 		t.cells[i] = unsetCell
 	}
@@ -123,16 +238,17 @@ func newSpeedupTable(model core.Model, gpuCap, maxK, nodes int) *speedupTable {
 
 // Speedup returns SPEEDUP for (K GPUs, N nodes), honoring the exploration
 // cap: allocations beyond the cap score zero, which makes them strictly
-// worse than pausing plus reallocating those GPUs elsewhere. It is safe
-// for concurrent use.
+// worse than pausing plus reallocating those GPUs elsewhere. Placements
+// with more nodes than GPUs are invalid and likewise score zero. It is
+// safe for concurrent use.
 func (t *speedupTable) Speedup(k, n int) float64 {
 	if k <= 0 || t.denom <= 0 {
 		return 0
 	}
-	if k > t.gpuCap || k > t.maxK || n > t.nodes {
+	if k > t.kCap || n > t.nodes || n > k {
 		return 0
 	}
-	idx := k*(t.nodes+1) + n
+	idx := t.offs[k] + n
 	if bits := atomic.LoadUint64(&t.cells[idx]); bits != unsetCell {
 		return math.Float64frombits(bits)
 	}
@@ -141,6 +257,50 @@ func (t *speedupTable) Speedup(k, n int) float64 {
 		v = num / t.denom
 	}
 	atomic.StoreUint64(&t.cells[idx], math.Float64bits(v))
+	return v
+}
+
+// ensureRack allocates the cross-rack layer and the derived rack-aware
+// θsys before the coarse pass fans fitness workers out; it must be called
+// serially (the layer itself is then filled with the same atomic
+// protocol as cells). The penalty factor is fixed per Pollux instance, so
+// an existing layer is always current.
+func (t *speedupTable) ensureRack(factor float64) {
+	if t.rackCells != nil {
+		return
+	}
+	t.rackParams = core.DeriveRackParams(t.model.Params, factor)
+	t.rackCells = make([]uint64, len(t.cells))
+	for i := range t.rackCells {
+		t.rackCells[i] = unsetCell
+	}
+}
+
+// SpeedupRack is Speedup for a placement spanning the given number of
+// racks, against the same single-GPU denominator. racks <= 1 reduces to
+// the two-tier table; ensureRack must have been called before any
+// multi-rack lookup.
+func (t *speedupTable) SpeedupRack(k, n, racks int) float64 {
+	if racks <= 1 {
+		return t.Speedup(k, n)
+	}
+	if k <= 0 || t.denom <= 0 {
+		return 0
+	}
+	if k > t.kCap || n > t.nodes || n > k || racks > n {
+		return 0
+	}
+	idx := t.offs[k] + n
+	if bits := atomic.LoadUint64(&t.rackCells[idx]); bits != unsetCell {
+		return math.Float64frombits(bits)
+	}
+	v := 0.0
+	// Racks: 2 stands in for any multi-rack span — the derived TSync
+	// tier is the same for all of them (see rackCells).
+	if _, num, ok := t.model.OptimalBatchRack(t.rackParams, core.RackPlacement{GPUs: k, Nodes: n, Racks: 2}); ok {
+		v = num / t.denom
+	}
+	atomic.StoreUint64(&t.rackCells[idx], math.Float64bits(v))
 	return v
 }
 
@@ -180,26 +340,54 @@ func (p *Pollux) pruneTables(jobs []JobView) {
 	}
 }
 
-// Schedule runs the genetic algorithm over allocation matrices and
-// returns the fittest (Eqn. 14), carrying the population over to the next
-// interval.
+// Schedule computes the round's allocation matrix (Eqn. 14). In the
+// default configuration every round is a full re-optimization
+// (scheduleFlat, bit-identical to the historical behavior); with
+// Incremental or RackSize set, rounds go through the dirty-set and
+// rack-hierarchical paths in incremental.go.
 func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
-	jobs := v.Jobs
-	nJobs := len(jobs)
+	nJobs := len(v.Jobs)
+	p.lastStats = RoundStats{Jobs: nJobs, Sub: nJobs, Full: true}
 	if nJobs == 0 {
 		p.prevPop, p.prevJobs = nil, nil
+		p.inc = nil
 		p.pruneTables(nil)
 		return ga.NewMatrix(0, len(v.Capacity))
 	}
-	maxK := v.TotalGPUs()
+	p.pruneTables(v.Jobs)
+	if p.opts.Incremental || p.opts.RackSize > 0 {
+		return p.scheduleIncremental(v)
+	}
+	return p.scheduleFlat(v)
+}
 
-	p.pruneTables(jobs)
-	tables := make([]*speedupTable, nJobs)
-	weights := make([]float64, nJobs)
+// roundTables builds the per-job speedup tables and Eqn. 16 weights for
+// one round. The weight sum is accumulated in job order, matching the
+// historical two-loop computation bit for bit.
+func (p *Pollux) roundTables(v *ClusterView) (tables []*speedupTable, weights []float64, sumW float64) {
+	jobs := v.Jobs
+	maxK := v.TotalGPUs()
+	tables = make([]*speedupTable, len(jobs))
+	weights = make([]float64, len(jobs))
 	for i, j := range jobs {
 		tables[i] = p.cachedTable(j, maxK, len(v.Capacity))
 		weights[i] = p.weight(j.GPUTime)
 	}
+	for _, w := range weights {
+		sumW += w
+	}
+	if sumW == 0 {
+		sumW = 1
+	}
+	return tables, weights, sumW
+}
+
+// scheduleFlat is the paper's full re-optimization: one GA over every
+// job × every node, carrying the whole population to the next interval.
+func (p *Pollux) scheduleFlat(v *ClusterView) ga.Matrix {
+	jobs := v.Jobs
+	nJobs := len(jobs)
+	tables, weights, sumW := p.roundTables(v)
 
 	// Restart detection against the currently applied allocation.
 	curPlacement := make([]core.Placement, nJobs)
@@ -207,14 +395,6 @@ func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
 		if v.Current != nil && i < len(v.Current) {
 			curPlacement[i] = PlacementOf(v.Current[i])
 		}
-	}
-
-	sumW := 0.0
-	for _, w := range weights {
-		sumW += w
-	}
-	if sumW == 0 {
-		sumW = 1
 	}
 
 	fitness := func(m ga.Matrix) float64 {
@@ -256,7 +436,14 @@ func (p *Pollux) Schedule(v *ClusterView) ga.Matrix {
 	for i, j := range jobs {
 		p.prevJobs[i] = j.ID
 	}
+	p.addStats(g.Stats())
 	return best.Clone()
+}
+
+// addStats folds one GA's fitness-work counters into the round stats.
+func (p *Pollux) addStats(st ga.Stats) {
+	p.lastStats.FitnessCalls += st.FitnessCalls
+	p.lastStats.FitnessCells += st.CellsScored
 }
 
 // ClusterUtility evaluates UTILITY(A) (Eqn. 17) for the cluster reduced

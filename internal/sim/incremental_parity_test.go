@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestIncrementalPolluxParityOnStandardTrace is the end-to-end half of
+// the incremental-scheduling parity criterion: on the standard 16-node
+// evaluation trace, Pollux with dirty-set incremental rounds and
+// rack-hierarchical decomposition must reproduce the full
+// re-optimization's exhibit metrics within tolerance. The two schedulers
+// make genuinely different decisions (the incremental one re-places only
+// dirty jobs between FullEvery rounds and optimizes racks before nodes),
+// so metrics agree statistically rather than bitwise; the bar is 10% —
+// the band the scaled-down exhibits use for JCT-level conclusions.
+func TestIncrementalPolluxParityOnStandardTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheduler comparison")
+	}
+	tr := standardTrace()
+	run := func(opts sched.PolluxOptions) Result {
+		opts.Population, opts.Generations = 20, 10
+		return NewCluster(tr, sched.NewPollux(opts, 1), parityConfig(EngineTick)).Run()
+	}
+	full := run(sched.PolluxOptions{})
+	inc := run(sched.PolluxOptions{Incremental: true, RackSize: 4})
+
+	if full.Summary.Completed != inc.Summary.Completed {
+		t.Errorf("completed: full %d vs incremental %d",
+			full.Summary.Completed, inc.Summary.Completed)
+	}
+	const tol = 0.10
+	if d := relDiff(inc.Summary.AvgJCT, full.Summary.AvgJCT); d > tol {
+		t.Errorf("avg JCT diverges %.1f%%: full %v vs incremental %v",
+			100*d, full.Summary.AvgJCT, inc.Summary.AvgJCT)
+	}
+	if d := relDiff(inc.AvgGoodput, full.AvgGoodput); d > tol {
+		t.Errorf("avg goodput diverges %.1f%%: full %v vs incremental %v",
+			100*d, full.AvgGoodput, inc.AvgGoodput)
+	}
+	if d := relDiff(inc.Summary.AvgEfficiency, full.Summary.AvgEfficiency); d > tol {
+		t.Errorf("avg efficiency diverges %.1f%%: full %v vs incremental %v",
+			100*d, full.Summary.AvgEfficiency, inc.Summary.AvgEfficiency)
+	}
+}
