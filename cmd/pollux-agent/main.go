@@ -8,7 +8,7 @@
 // Usage:
 //
 //	pollux-agent [-addr 127.0.0.1:7077] [-jobs resnet18,neumf]
-//	             [-epochs 20] [-compression 300]
+//	             [-epochs 20] [-compression 300] [-seed 1]
 package main
 
 import (

@@ -8,6 +8,9 @@
 //
 //	pollux-sched [-listen 127.0.0.1:7077] [-nodes 4] [-gpus 4]
 //	             [-compression 300] [-population 50] [-generations 30]
+//	             [-seed 1] [-status 127.0.0.1:7078]
+//	             [-checkpoint sched.ckpt] [-checkpoint-interval 600]
+//	             [-restore]
 //
 // Scheduling rounds fire every 60 simulated seconds on the shared
 // eventsim kernel, paced by a wall clock under -compression (simulated
@@ -15,20 +18,56 @@
 // second). Use the same compression for the paired `pollux-agent`
 // processes — both default to 300 — so scheduler and trainers advance
 // simulated time at the same rate.
+//
+// -checkpoint names a state file the daemon atomically rewrites every
+// -checkpoint-interval simulated seconds (after the round that crosses
+// the mark): the full service state — job registry, latest reports,
+// committed allocations, bound placements, admission counters — plus the
+// Pollux policy's caches, GA seeds, and RNG position. -restore loads that
+// file on startup and resumes the round cadence where the saved daemon
+// stopped; agents reconnect and keep reporting as if the restart never
+// happened. A checkpoint from a different cluster shape, a corrupt file,
+// or a newer format version fails startup loudly.
+//
+// -status serves read-only observability on a second address: GET
+// /status returns a JSON snapshot (rounds, queue depths, per-round
+// scheduling latency, the Pollux round-work stats, per-tenant admission
+// counters) and GET /metrics the same in Prometheus text format.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/eventsim"
 	"repro/internal/sched"
+	"repro/internal/status"
 )
 
 // schedInterval is the simulated-seconds scheduling period (Sec. 5.1).
 const schedInterval = 60
+
+// checkpointKind tags the daemon's checkpoint files; checkpointVersion is
+// the current format.
+const (
+	checkpointKind    = "sched-service"
+	checkpointVersion = 1
+)
+
+// daemonCheckpoint is the pollux-sched state file body: the cluster shape
+// it was taken under (validated on restore), the time the next scheduling
+// round was due, and the service and policy snapshots.
+type daemonCheckpoint struct {
+	Nodes     int
+	GPUs      int
+	NextSched float64
+	Service   *cluster.ServiceSnapshot
+	Policy    *sched.PolluxSnapshot
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7077", "address to serve the scheduler RPC on")
@@ -39,9 +78,20 @@ func main() {
 	population := flag.Int("population", 50, "GA population size")
 	generations := flag.Int("generations", 30, "GA generations per interval")
 	seed := flag.Int64("seed", 1, "GA random seed")
+	statusAddr := flag.String("status", "", "serve /status (JSON) and /metrics (Prometheus text) on this address")
+	ckptPath := flag.String("checkpoint", "", "write scheduler state to this file for crash recovery")
+	ckptInterval := flag.Float64("checkpoint-interval", 600,
+		"simulated seconds between checkpoint writes (with -checkpoint)")
+	restore := flag.Bool("restore", false, "restore state from the -checkpoint file before serving")
 	flag.Parse()
 	if *compression <= 0 {
 		log.Fatal("pollux-sched: -compression must be positive")
+	}
+	if *restore && *ckptPath == "" {
+		log.Fatal("pollux-sched: -restore needs -checkpoint to name the state file")
+	}
+	if *ckptPath != "" && *ckptInterval <= 0 {
+		log.Fatal("pollux-sched: -checkpoint-interval must be positive")
 	}
 
 	capacity := make([]int, *nodes)
@@ -50,6 +100,30 @@ func main() {
 	}
 	state := cluster.NewState(capacity)
 	svc := cluster.NewService(state)
+
+	pollux := sched.NewPollux(sched.PolluxOptions{
+		Population: *population, Generations: *generations,
+	}, *seed)
+
+	start := 0.0
+	if *restore {
+		var dc daemonCheckpoint
+		if _, err := checkpoint.Read(*ckptPath, checkpointKind, checkpointVersion, &dc); err != nil {
+			log.Fatalf("pollux-sched: restore: %v", err)
+		}
+		if dc.Nodes != *nodes || dc.GPUs != *gpus {
+			log.Fatalf("pollux-sched: checkpoint is for a %dx%d cluster, this daemon runs %dx%d",
+				dc.Nodes, dc.GPUs, *nodes, *gpus)
+		}
+		if err := svc.RestoreSnapshot(dc.Service); err != nil {
+			log.Fatalf("pollux-sched: restore: %v", err)
+		}
+		if err := pollux.Restore(dc.Policy); err != nil {
+			log.Fatalf("pollux-sched: restore: %v", err)
+		}
+		start = dc.NextSched
+		log.Printf("pollux-sched: restored from %s, resuming at t=%.0fs", *ckptPath, start)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -64,14 +138,47 @@ func main() {
 		}
 	}()
 
-	policy := sched.NewPollux(sched.PolluxOptions{
-		Population: *population, Generations: *generations,
-	}, *seed)
-	svc.RunRounds(policy, schedInterval, &eventsim.Wall{Compression: *compression}, nil,
+	policy := status.Timed(pollux)
+	var reg *status.Registry
+	if *statusAddr != "" {
+		reg = status.New(policy.Name())
+		reg.SetSource(func() status.Cluster { return clusterStatus(svc) })
+		sl, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			log.Fatalf("pollux-sched: status listener: %v", err)
+		}
+		defer sl.Close()
+		log.Printf("pollux-sched: status endpoint on http://%s/status", sl.Addr())
+		go func() {
+			if err := http.Serve(sl, reg.Handler()); err != nil {
+				log.Printf("status server stopped: %v", err)
+			}
+		}()
+	}
+
+	nextCkpt := start + *ckptInterval
+	svc.RunRounds(policy, schedInterval, &eventsim.Wall{Compression: *compression}, start, nil,
 		func(now float64, n int, err error) {
+			if reg != nil {
+				reg.ObserveRound(now, n, policy.LastLatencySeconds(), pollux.LastRoundStats(), err)
+			}
 			if err != nil {
 				log.Printf("schedule: %v", err)
 				return
+			}
+			if *ckptPath != "" && now >= nextCkpt {
+				nextCkpt = now + *ckptInterval
+				dc := daemonCheckpoint{
+					Nodes: *nodes, GPUs: *gpus,
+					NextSched: now + schedInterval,
+					Service:   svc.Snapshot(),
+					Policy:    pollux.Snapshot(),
+				}
+				if err := checkpoint.Write(*ckptPath, checkpointKind, checkpointVersion, &dc); err != nil {
+					log.Printf("checkpoint: %v", err)
+				} else {
+					log.Printf("t=%.0fs checkpointed to %s", now, *ckptPath)
+				}
 			}
 			if n == 0 {
 				return
@@ -83,4 +190,21 @@ func main() {
 			}
 			log.Printf("t=%.0fs scheduled %d jobs; GPUs in use %d/%d %v", now, n, used, *nodes**gpus, usage)
 		})
+}
+
+// clusterStatus adapts the service's status view for the HTTP registry.
+func clusterStatus(svc *cluster.Service) status.Cluster {
+	s := svc.Status()
+	c := status.Cluster{
+		Nodes: s.Nodes, GPUsTotal: s.GPUsTotal, GPUsUsed: s.GPUsUsed, Usage: s.Usage,
+		Jobs: s.Jobs, Running: s.Running, Pending: s.Pending, Done: s.Done,
+		Admission: s.Admission, Priority: s.Priority,
+	}
+	for _, t := range s.Tenants {
+		c.Tenants = append(c.Tenants, status.Tenant{
+			Name: t.Name, Submitted: t.Submitted, Admitted: t.Admitted,
+			Rejected: t.Rejected, AvgQueueDepth: t.AvgQueueDepth,
+		})
+	}
+	return c
 }

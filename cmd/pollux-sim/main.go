@@ -9,7 +9,14 @@
 //	           [-incremental] [-fullevery 10] [-racksize 16]
 //	           [-tenants prod:12:2,batch:20] [-admission quota]
 //	           [-quota batch=10] [-priority slo]
+//	           [-status 127.0.0.1:7078]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -status serves the read-only observability endpoints (GET /status for
+// JSON, GET /metrics for Prometheus text) while a long simulation runs:
+// rounds completed, simulated time, and the Pollux per-round work stats.
+// It observes state the rounds already produced, so it never changes a
+// fixed-seed run's results. Not available under -engine replay.
 //
 // -incremental switches Pollux to incremental scheduling rounds (only
 // jobs whose fitted model, phase, or GPU demand changed are re-placed;
@@ -43,14 +50,18 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/status"
 	"repro/internal/workload"
 )
 
@@ -76,6 +87,8 @@ func main() {
 	tick := flag.Float64("tick", 2, "tick seconds (tick engine step / event engine profiling resolution)")
 	traceFile := flag.String("trace", "", "load a JSON trace (see pollux-trace -o) instead of generating")
 	events := flag.Int("events", 0, "print the last N scheduling events")
+	statusAddr := flag.String("status", "",
+		"serve /status (JSON) and /metrics (Prometheus text) on this address while the simulation runs")
 	var sweep cliutil.Sweep
 	sweep.Register(flag.CommandLine, "", false) // -scale preset + -refitworkers
 	var fe cliutil.FrontEnd
@@ -208,6 +221,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-events is not supported by -engine replay")
 			os.Exit(2)
 		}
+		if *statusAddr != "" {
+			fmt.Fprintln(os.Stderr, "-status is not supported by -engine replay")
+			os.Exit(2)
+		}
 		rep, err := cluster.Replay(trace, p, cluster.ReplayConfig{
 			Nodes: *nodes, GPUsPerNode: *gpus,
 			UseTunedConfig: !*user, Seed: *seed, OverRPC: *overRPC,
@@ -243,6 +260,34 @@ func main() {
 		FrontEnd:             feOpts,
 	}
 	sweep.ApplyConfig(&cfg)
+	if *statusAddr != "" {
+		// Opt-in observability for long simulations: the registry only
+		// reads policy state the round already produced, so serving it
+		// cannot change a fixed-seed run's results.
+		reg := status.New(p.Name())
+		sl, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "status listener:", err)
+			os.Exit(1)
+		}
+		defer sl.Close()
+		fmt.Printf("status endpoint on http://%s/status\n", sl.Addr())
+		go http.Serve(sl, reg.Handler())
+		pollux, _ := p.(*sched.Pollux)
+		prev := time.Now()
+		cfg.OnRound = func(now float64) {
+			// The sim has no per-round Schedule timer; the wall time
+			// between consecutive rounds (GA plus trainer stepping) is the
+			// honest cost of advancing one round here.
+			elapsed := time.Since(prev).Seconds()
+			prev = time.Now()
+			var stats sched.RoundStats
+			if pollux != nil {
+				stats = pollux.LastRoundStats()
+			}
+			reg.ObserveRound(now, stats.Sub, elapsed, stats, nil)
+		}
+	}
 	res := sim.NewCluster(trace, p, cfg).Run()
 	s := res.Summary
 

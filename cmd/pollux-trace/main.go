@@ -6,6 +6,11 @@
 // Usage:
 //
 //	pollux-trace [-jobs 160] [-hours 8] [-seed 1] [-v]
+//	             [-o trace.json] [-load trace.json]
+//
+// -o writes the generated trace as JSON; -load inspects an existing
+// trace file instead of generating one (pollux-sim -trace replays
+// either).
 package main
 
 import (

@@ -1,0 +1,166 @@
+// Doc-honesty tests: the operator docs are part of the interface, so
+// they are gated like code. TestDocsLinksResolve fails on a dangling
+// relative link in README.md or docs/*.md, TestDocsReachableFromReadme
+// fails when a docs page exists that no link chain from README.md
+// reaches, and TestCLIDocsFresh fails when a binary registers a flag
+// that docs/cli.md does not mention. The flag audit asks the binaries
+// themselves (via -h), so flags added through the shared
+// internal/cliutil helpers are covered without this test knowing how
+// each main wires them.
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRE matches the target of an inline markdown link [text](target).
+var mdLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdLinks returns the link targets in a markdown file, with any #anchor
+// suffix stripped. External targets (scheme://, mailto:) and pure
+// anchors are skipped.
+func mdLinks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	var out []string
+	for _, m := range mdLinkRE.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		out = append(out, target)
+	}
+	return out
+}
+
+// docFiles returns README.md plus every markdown file under docs/,
+// relative to the repo root.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	pages, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no docs/*.md pages found; is the working directory the repo root?")
+	}
+	return append([]string{"README.md"}, pages...)
+}
+
+func TestDocsLinksResolve(t *testing.T) {
+	for _, page := range docFiles(t) {
+		for _, target := range mdLinks(t, page) {
+			resolved := filepath.Clean(filepath.Join(filepath.Dir(page), target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %s, which does not resolve: %v", page, target, err)
+			}
+		}
+	}
+}
+
+func TestDocsReachableFromReadme(t *testing.T) {
+	// Breadth-first walk of the markdown link graph starting at
+	// README.md; a docs page not in the visited set is orphaned.
+	visited := map[string]bool{"README.md": true}
+	queue := []string{"README.md"}
+	for len(queue) > 0 {
+		page := queue[0]
+		queue = queue[1:]
+		for _, target := range mdLinks(t, page) {
+			if !strings.HasSuffix(target, ".md") {
+				continue
+			}
+			resolved := filepath.Clean(filepath.Join(filepath.Dir(page), target))
+			if visited[resolved] {
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				continue // dangling links are TestDocsLinksResolve's problem
+			}
+			visited[resolved] = true
+			queue = append(queue, resolved)
+		}
+	}
+	for _, page := range docFiles(t) {
+		if !visited[page] {
+			t.Errorf("%s is not reachable from README.md by following markdown links", page)
+		}
+	}
+}
+
+// helpFlagRE matches one registered flag in the PrintDefaults output of
+// the flag package: two spaces, a dash, the name.
+var helpFlagRE = regexp.MustCompile(`(?m)^  -([^ \t\n]+)`)
+
+// registeredFlags asks a binary for its flags by running it with -h.
+// The flag package prints every registered flag to stderr, including
+// ones declared by shared helpers like internal/cliutil, so this is the
+// ground truth the docs must match.
+func registeredFlags(t *testing.T, binary string) []string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./cmd/"+binary, "-h")
+	out, _ := cmd.CombinedOutput() // -h exits non-zero under some handlers; the listing is what matters
+	if !strings.Contains(string(out), "Usage") {
+		t.Fatalf("go run ./cmd/%s -h did not print a usage listing:\n%s", binary, out)
+	}
+	var flags []string
+	for _, m := range helpFlagRE.FindAllStringSubmatch(string(out), -1) {
+		flags = append(flags, m[1])
+	}
+	if len(flags) == 0 {
+		t.Fatalf("go run ./cmd/%s -h listed no flags:\n%s", binary, out)
+	}
+	return flags
+}
+
+func TestCLIDocsFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every binary; skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	data, err := os.ReadFile(filepath.Join("docs", "cli.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split docs/cli.md into its per-binary "## name" sections so a flag
+	// documented under one binary cannot vouch for another's.
+	sections := map[string]string{}
+	for _, chunk := range strings.Split(string(data), "\n## ")[1:] {
+		name, body, _ := strings.Cut(chunk, "\n")
+		sections[strings.TrimSpace(name)] = body
+	}
+
+	// pollux-vet is deliberately absent: it speaks the go vet
+	// unitchecker protocol and registers no flags of its own.
+	for _, binary := range []string{
+		"pollux-sim", "pollux-bench", "pollux-sched", "pollux-agent", "pollux-trace",
+	} {
+		body, ok := sections[binary]
+		if !ok {
+			t.Errorf("docs/cli.md has no \"## %s\" section", binary)
+			continue
+		}
+		for _, name := range registeredFlags(t, binary) {
+			if !strings.Contains(body, "`-"+name+"`") {
+				t.Errorf("docs/cli.md: the %s section does not mention `-%s`", binary, name)
+			}
+		}
+	}
+}

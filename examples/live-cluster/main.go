@@ -43,7 +43,7 @@ func main() {
 	// eventsim kernel under a Wall clock, exactly like pollux-sched).
 	stop := make(chan struct{})
 	policy := sched.NewPollux(sched.PolluxOptions{Population: 20, Generations: 10}, 1)
-	go svc.RunRounds(policy, 60, &eventsim.Wall{Compression: 150}, stop,
+	go svc.RunRounds(policy, 60, &eventsim.Wall{Compression: 150}, 0, stop,
 		func(now float64, n int, err error) {
 			if err != nil {
 				log.Println("schedule:", err)

@@ -1,0 +1,97 @@
+package admit
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// drive presents a deterministic arrival mix to a front end.
+func drive(f *FrontEnd, t0 float64, n int) {
+	tenants := []string{"acme", "beta", "acme", "gamma"}
+	for i := 0; i < n; i++ {
+		f.Arrive(Request{
+			Job:    i,
+			Tenant: tenants[i%len(tenants)],
+			Time:   t0 + float64(i)*20,
+			GPUs:   1 + i%4,
+		})
+	}
+}
+
+// TestFrontEndStateRoundTrip: for every admission policy, a front end
+// rebuilt from Options and restored from a JSON-serialized state must
+// make the same decisions on the rest of the arrival stream as the
+// uninterrupted one.
+func TestFrontEndStateRoundTrip(t *testing.T) {
+	optSets := map[string]*Options{
+		"always":       {Admission: AdmitAlways},
+		"token-bucket": {Admission: AdmitTokenBucket, BucketCapacity: 4, BucketRefill: 1.0 / 50},
+		"quota":        {Admission: AdmitQuota, Quotas: map[string]int{"acme": 3}, DefaultQuota: 5, Priority: PrioritySLO},
+	}
+	for name, opts := range optSets {
+		t.Run(name, func(t *testing.T) {
+			orig, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drive(orig, 0, 12)
+
+			raw, err := json.Marshal(orig.State())
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var st FrontEndState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			restored, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.RestoreState(&st); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+
+			drive(orig, 240, 12)
+			drive(restored, 240, 12)
+			if !reflect.DeepEqual(orig.Decisions(), restored.Decisions()) {
+				t.Fatalf("decision streams diverged after restore:\n%+v\nvs\n%+v",
+					orig.Decisions(), restored.Decisions())
+			}
+			if !reflect.DeepEqual(orig.Stats(), restored.Stats()) {
+				t.Fatalf("tenant stats diverged after restore:\n%+v\nvs\n%+v", orig.Stats(), restored.Stats())
+			}
+			if orig.Rounds() != restored.Rounds() {
+				t.Fatalf("rounds diverged: %d vs %d", orig.Rounds(), restored.Rounds())
+			}
+		})
+	}
+}
+
+// TestFrontEndStatePolicyMismatchFailsLoudly: restoring a snapshot into a
+// front end built with a different admission policy must error.
+func TestFrontEndStatePolicyMismatchFailsLoudly(t *testing.T) {
+	bucket, err := New(&Options{Admission: AdmitTokenBucket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(bucket, 0, 4)
+	st := bucket.State()
+
+	quota, err := New(&Options{Admission: AdmitQuota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quota.RestoreState(st); err == nil {
+		t.Fatal("restore into mismatched admission policy succeeded, want loud error")
+	}
+
+	var nilFE *FrontEnd
+	if err := nilFE.RestoreState(st); err == nil {
+		t.Fatal("restore of populated state into nil front end succeeded, want loud error")
+	}
+	if err := nilFE.RestoreState(nil); err != nil {
+		t.Fatalf("nil-into-nil restore should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package checkpoint provides the on-disk envelope for scheduler state
+// snapshots: a JSON document carrying a magic marker, a kind tag, a format
+// version, and a SHA-256 checksum over the canonically encoded body.
+//
+// Writes are atomic (temp file in the destination directory, fsync,
+// rename), so a crash mid-write leaves either the previous checkpoint or
+// none — never a torn file. Reads verify every layer of the envelope and
+// fail loudly: a truncated file, a flipped byte, a version from a newer
+// format, or a snapshot of the wrong kind each produce a distinct error
+// instead of silently starting fresh.
+//
+// Bodies are encoded with encoding/json, which is canonical for the
+// snapshot structs used in this repo: struct fields marshal in declaration
+// order, and floats use the shortest representation that round-trips
+// bit-identically (snapshot structs avoid maps precisely so no
+// nondeterministic key ordering can enter the byte stream).
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a Pollux repro checkpoint file.
+const magic = "pollux-checkpoint"
+
+// envelope is the top-level JSON document.
+type envelope struct {
+	Magic   string          `json:"magic"`
+	Kind    string          `json:"kind"`
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Body    json.RawMessage `json:"body"`
+}
+
+// Write canonically encodes body, wraps it in an envelope of the given
+// kind and version, and atomically writes it to path.
+func Write(path, kind string, version int, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s body: %w", kind, err)
+	}
+	sum := sha256.Sum256(raw)
+	env := envelope{
+		Magic:   magic,
+		Kind:    kind,
+		Version: version,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Body:    raw,
+	}
+	out, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode envelope: %w", err)
+	}
+	return atomicWrite(path, out)
+}
+
+// Read opens a checkpoint file, verifies the envelope (magic, kind,
+// checksum, version no newer than maxVersion), and decodes the body into
+// out. It returns the version found in the file so callers can migrate
+// older formats if they choose to support them.
+func Read(path, kind string, maxVersion int, out any) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return 0, fmt.Errorf("checkpoint: %s is not a valid checkpoint (truncated or corrupt): %w", path, err)
+	}
+	if env.Magic != magic {
+		return 0, fmt.Errorf("checkpoint: %s is not a pollux checkpoint (magic %q)", path, env.Magic)
+	}
+	if env.Kind != kind {
+		return 0, fmt.Errorf("checkpoint: %s holds a %q snapshot, want %q", path, env.Kind, kind)
+	}
+	if env.Version > maxVersion || env.Version < 1 {
+		return 0, fmt.Errorf("checkpoint: %s has format version %d, this binary supports 1..%d", path, env.Version, maxVersion)
+	}
+	sum := sha256.Sum256(env.Body)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return 0, fmt.Errorf("checkpoint: %s failed checksum verification (corrupt body)", path)
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return 0, fmt.Errorf("checkpoint: decode %s body: %w", kind, err)
+	}
+	return env.Version, nil
+}
+
+// atomicWrite writes data to path via a temp file and rename so readers
+// never observe a partial checkpoint.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write temp file: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync temp file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	return nil
+}

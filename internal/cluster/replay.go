@@ -8,11 +8,19 @@
 // and nothing races: events fire in the kernel's deterministic order, so
 // a replay is bit-reproducible for a fixed seed and directly comparable
 // to the trace-driven simulator's output on the same trace.
+//
+// Replay is also the checkpoint verifier: ReplayToCheckpoint stops at the
+// first scheduling round at or after a cut time and serializes the whole
+// deployment (service, policy, live trainers), and ResumeReplay continues
+// from that snapshot. The resumed run's Result is bit-identical to the
+// straight-through run — the bar TestReplayCheckpointResume pins at the
+// same level as TestReplayDeterminism.
 package cluster
 
 import (
 	"fmt"
 	"net"
+	"reflect"
 
 	"repro/internal/admit"
 	"repro/internal/eventsim"
@@ -114,42 +122,96 @@ type replayTask struct {
 	rejected bool
 }
 
-// Replay runs the trace through the live-testbed control path on virtual
-// time and returns its completion statistics.
-func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (ReplayResult, error) {
-	cfg.defaults()
+// PolicyCheckpointer is the scheduling policy side of the checkpoint
+// contract: sched.Pollux implements it. ReplayToCheckpoint (and the
+// pollux-sched daemon) require it, since resuming a stateful policy
+// without its state would silently diverge from the uninterrupted run.
+type PolicyCheckpointer interface {
+	sched.Policy
+	Snapshot() *sched.PolluxSnapshot
+	Restore(*sched.PolluxSnapshot) error
+}
+
+// TaskSnapshot is one trace job's progress through a replay: whether it
+// arrived, whether admission rejected it, whether it finished (and when),
+// and — for a job whose trainer is up — the trainer state. Trainer is nil
+// exactly when the job has not arrived or was rejected.
+type TaskSnapshot struct {
+	Job      int
+	Arrived  bool             `json:",omitempty"`
+	Rejected bool             `json:",omitempty"`
+	Finished bool             `json:",omitempty"`
+	Finish   float64          `json:",omitempty"`
+	Trainer  *TrainerSnapshot `json:",omitempty"`
+}
+
+// ReplayCheckpoint is a whole replay deployment frozen between two
+// scheduling rounds: the config and trace shape it was taken under (echoed
+// for loud mismatch detection), the service and policy state, every
+// task's progress, and the time of the scheduling round that was due
+// next. The pending event queue is deliberately absent — it is derivable:
+// un-arrived jobs re-enter at their trace submit times, each live
+// trainer's next step is Submit+SimNow, and the next round is NextSched.
+type ReplayCheckpoint struct {
+	Config    ReplayConfig
+	Jobs      int // len(trace.Jobs) echo
+	NextSched float64
+	Service   *ServiceSnapshot
+	Policy    *sched.PolluxSnapshot
+	Tasks     []TaskSnapshot
+}
+
+// replayRun is one replay deployment: the service, transport, tasks, and
+// event queue shared by the fresh-start and resume-from-checkpoint paths.
+type replayRun struct {
+	cfg    ReplayConfig
+	policy sched.Policy
+	svc    *Service
+	fe     *admit.FrontEnd
+	trans  Transport
+	tasks  []*replayTask
+	byID   map[int]*replayTask
+	q      eventsim.Queue
+	done   int
+	closer func()
+}
+
+// newReplayRun builds the deployment for a trace: state, service, front
+// end, transport, and one trainer per known-model trace job. It pushes no
+// events; the caller seeds the queue for a fresh start or a resume.
+func newReplayRun(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (*replayRun, error) {
 	capacity := make([]int, cfg.Nodes)
 	for i := range capacity {
 		capacity[i] = cfg.GPUsPerNode
 	}
-	state := NewState(capacity)
-	svc := NewService(state)
+	svc := NewService(NewState(capacity))
 	fe, err := admit.New(cfg.FrontEnd)
 	if err != nil {
-		return ReplayResult{}, err
+		return nil, err
 	}
 	svc.SetFrontEnd(fe)
+	r := &replayRun{cfg: cfg, policy: policy, svc: svc, fe: fe, byID: make(map[int]*replayTask)}
 
-	var transport Transport = Local{Svc: svc}
+	r.trans = Local{Svc: svc}
 	if cfg.OverRPC {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return ReplayResult{}, err
+			return nil, err
 		}
-		defer ln.Close()
 		go Serve(svc, ln)
 		client, err := Dial("tcp", ln.Addr().String())
 		if err != nil {
-			return ReplayResult{}, err
+			ln.Close()
+			return nil, err
 		}
-		defer client.Close()
-		transport = client
+		r.trans = client
+		r.closer = func() {
+			client.Close()
+			ln.Close()
+		}
 	}
 
 	adaptive := policy.AdaptsBatchSize()
-	var tasks []*replayTask
-	byID := make(map[int]*replayTask)
-	var q eventsim.Queue
 	for _, wj := range trace.Jobs {
 		spec := models.ByName(wj.Model)
 		if spec == nil {
@@ -173,53 +235,72 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 		if !adaptive {
 			t.tr.FixedBatch = batch
 		}
-		tasks = append(tasks, t)
-		byID[wj.ID] = t
-		q.Push(eventsim.Event{
-			Time: wj.Submit, Class: eventsim.ClassJob, Job: wj.ID, Kind: kindArrive,
-		})
+		r.tasks = append(r.tasks, t)
+		r.byID[wj.ID] = t
 	}
-	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: kindSched})
+	return r, nil
+}
 
-	done := 0
+func (r *replayRun) close() {
+	if r.closer != nil {
+		r.closer()
+	}
+}
+
+// drive runs the event loop. When checkpointAt is non-nil, the loop stops
+// at the first scheduling event with Time >= *checkpointAt — before
+// executing that round — and returns its time; otherwise it runs to
+// completion (all tasks done or MaxTime) and returns a negative time.
+func (r *replayRun) drive(checkpointAt *float64) (cutSched float64, err error) {
+	cfg := r.cfg
+	cutSched = -1
 	var runErr error
-	eventsim.Drive(&q, eventsim.Virtual{}, 0, func(e eventsim.Event) bool {
+	eventsim.Drive(&r.q, eventsim.Virtual{}, 0, func(e eventsim.Event) bool {
 		if e.Time > cfg.MaxTime {
+			return false
+		}
+		if r.done >= len(r.tasks) {
+			// Only reachable on a resume whose snapshot already held every
+			// task complete; a fresh run stops at the completing event.
 			return false
 		}
 		switch e.Kind {
 		case kindSched:
-			if _, err := svc.ScheduleOnce(policy, e.Time); err != nil {
+			if checkpointAt != nil && e.Time >= *checkpointAt {
+				cutSched = e.Time
+				return false
+			}
+			if _, err := r.svc.ScheduleOnce(r.policy, e.Time); err != nil {
 				runErr = err
 				return false
 			}
-			q.Push(eventsim.Event{
+			r.q.Push(eventsim.Event{
 				Time: e.Time + cfg.SchedInterval, Class: eventsim.ClassCluster, Kind: kindSched,
 			})
 
 		case kindArrive:
-			t := byID[e.Job]
+			t := r.byID[e.Job]
 			// Arrivals pop in submit-time order with ties in ascending
 			// job-ID order — the same sequence the simulator presents —
 			// and the request carries the trace's submit time, so
 			// admission decisions are bit-identical across deployments.
 			// A rejected job's trainer never comes up.
 			gpus := t.tr.UserGPUs
-			if !svc.AdmitJob(admit.Request{Job: e.Job, Tenant: t.wj.Tenant, Time: t.wj.Submit, GPUs: gpus}) {
+			if !r.svc.AdmitJob(admit.Request{Job: e.Job, Tenant: t.wj.Tenant, Time: t.wj.Submit, GPUs: gpus}) {
 				t.rejected = true
-				done++
-				return done < len(tasks)
+				r.done++
+				return r.done < len(r.tasks)
 			}
-			if err := t.tr.begin(transport, e.Time); err != nil {
+			if err := t.tr.begin(r.trans, e.Time); err != nil {
 				runErr = err
 				return false
 			}
-			q.Push(eventsim.Event{
+			r.q.Push(eventsim.Event{
 				Time: e.Time, Class: eventsim.ClassJob, Job: e.Job, Kind: kindStep,
 			})
 
 		case kindStep:
-			t := byID[e.Job]
+			t := r.byID[e.Job]
 			finished, err := t.tr.tick()
 			if err != nil {
 				runErr = err
@@ -227,24 +308,25 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 			}
 			if finished {
 				t.finish = t.wj.Submit + t.tr.simNow
-				done++
-				return done < len(tasks)
+				r.done++
+				return r.done < len(r.tasks)
 			}
-			q.Push(eventsim.Event{
+			r.q.Push(eventsim.Event{
 				Time: e.Time + trainerTick, Class: eventsim.ClassJob, Job: e.Job, Kind: kindStep,
 			})
 		}
 		return true
 	})
-	if runErr != nil {
-		return ReplayResult{}, runErr
-	}
+	return cutSched, runErr
+}
 
+// result aggregates the run into a ReplayResult.
+func (r *replayRun) result() ReplayResult {
 	var res ReplayResult
 	var tputSum, goodSum, runSum float64
 	type tenantAccum struct{ goodSum, runTime float64 }
 	tenantRates := make(map[string]*tenantAccum)
-	for _, t := range tasks {
+	for _, t := range r.tasks {
 		res.Records = append(res.Records, metrics.JobRecord{
 			Submit:   t.wj.Submit,
 			Finish:   t.finish,
@@ -267,14 +349,14 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 	}
 	res.Summary = metrics.Summarize(res.Records)
 	res.PerTenant = metrics.SummarizeTenants(res.Records)
-	feStats := fe.Stats()
+	feStats := r.fe.Stats()
 	//pollux:order-ok each iteration fills only its own tenant's summary; Rounds is a pure accessor
 	for tenant, ts := range res.PerTenant {
 		if st, ok := feStats[tenant]; ok {
 			ts.Submitted = st.Submitted
 			ts.Admitted = st.Admitted
 			ts.Rejected = st.Rejected
-			if rounds := fe.Rounds(); rounds > 0 {
+			if rounds := r.fe.Rounds(); rounds > 0 {
 				ts.AvgQueueDepth = st.QueueDepthSum / float64(rounds)
 			}
 		} else {
@@ -286,10 +368,160 @@ func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (Replay
 		}
 		res.PerTenant[tenant] = ts
 	}
-	res.Admissions = fe.Decisions()
+	res.Admissions = r.fe.Decisions()
 	if runSum > 0 {
 		res.AvgThroughput = tputSum / runSum
 		res.AvgGoodput = goodSum / runSum
 	}
-	return res, nil
+	return res
+}
+
+// seedFresh pushes the trace's arrival events and the first scheduling
+// round at time zero.
+func (r *replayRun) seedFresh() {
+	for _, t := range r.tasks {
+		r.q.Push(eventsim.Event{
+			Time: t.wj.Submit, Class: eventsim.ClassJob, Job: t.wj.ID, Kind: kindArrive,
+		})
+	}
+	r.q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster, Kind: kindSched})
+}
+
+// Replay runs the trace through the live-testbed control path on virtual
+// time and returns its completion statistics.
+func Replay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig) (ReplayResult, error) {
+	cfg.defaults()
+	r, err := newReplayRun(trace, policy, cfg)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer r.close()
+	r.seedFresh()
+	if _, err := r.drive(nil); err != nil {
+		return ReplayResult{}, err
+	}
+	return r.result(), nil
+}
+
+// ReplayToCheckpoint runs the trace like Replay but stops at the first
+// scheduling round due at or after checkpointAt — before executing it —
+// and returns the frozen deployment. The policy must implement
+// PolicyCheckpointer (sched.Pollux does). A trace that completes before
+// checkpointAt is an error: there is no mid-trace state left to save.
+func ReplayToCheckpoint(trace workload.Trace, policy sched.Policy, cfg ReplayConfig, checkpointAt float64) (*ReplayCheckpoint, error) {
+	cp, ok := policy.(PolicyCheckpointer)
+	if !ok {
+		return nil, fmt.Errorf("cluster: policy %q does not support checkpointing", policy.Name())
+	}
+	cfg.defaults()
+	r, err := newReplayRun(trace, policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	r.seedFresh()
+	cut, err := r.drive(&checkpointAt)
+	if err != nil {
+		return nil, err
+	}
+	if cut < 0 {
+		return nil, fmt.Errorf("cluster: replay finished before checkpoint time %.0fs", checkpointAt)
+	}
+
+	ck := &ReplayCheckpoint{
+		Config:    cfg,
+		Jobs:      len(trace.Jobs),
+		NextSched: cut,
+		Service:   r.svc.Snapshot(),
+		Policy:    cp.Snapshot(),
+	}
+	for _, t := range r.tasks {
+		ts := TaskSnapshot{Job: t.wj.ID}
+		switch {
+		case t.rejected:
+			ts.Arrived, ts.Rejected = true, true
+		case t.tr.transport != nil: // begin ran: the trainer is (or was) live
+			ts.Arrived = true
+			ts.Trainer = t.tr.Snapshot()
+			if t.tr.Done() {
+				ts.Finished = true
+				ts.Finish = t.finish
+			}
+		}
+		ck.Tasks = append(ck.Tasks, ts)
+	}
+	return ck, nil
+}
+
+// ResumeReplay continues a checkpointed replay to completion. It must be
+// given the same trace, policy configuration, and ReplayConfig the
+// checkpoint was taken under; any mismatch — a different cluster shape, a
+// different trace, a policy without checkpoint support — fails loudly
+// instead of silently starting fresh. The returned Result covers the
+// whole run, pre- and post-checkpoint, and is bit-identical to the
+// straight-through Replay of the same trace.
+func ResumeReplay(trace workload.Trace, policy sched.Policy, cfg ReplayConfig, ck *ReplayCheckpoint) (ReplayResult, error) {
+	cp, ok := policy.(PolicyCheckpointer)
+	if !ok {
+		return ReplayResult{}, fmt.Errorf("cluster: policy %q does not support checkpointing", policy.Name())
+	}
+	cfg.defaults()
+	if !reflect.DeepEqual(cfg, ck.Config) {
+		return ReplayResult{}, fmt.Errorf("cluster: replay config %+v does not match checkpoint config %+v", cfg, ck.Config)
+	}
+	if len(trace.Jobs) != ck.Jobs {
+		return ReplayResult{}, fmt.Errorf("cluster: trace has %d jobs, checkpoint was taken with %d", len(trace.Jobs), ck.Jobs)
+	}
+	r, err := newReplayRun(trace, policy, cfg)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer r.close()
+	if len(ck.Tasks) != len(r.tasks) {
+		return ReplayResult{}, fmt.Errorf("cluster: checkpoint has %d tasks, trace builds %d", len(ck.Tasks), len(r.tasks))
+	}
+	if err := r.svc.RestoreSnapshot(ck.Service); err != nil {
+		return ReplayResult{}, err
+	}
+	if err := cp.Restore(ck.Policy); err != nil {
+		return ReplayResult{}, err
+	}
+	for i, ts := range ck.Tasks {
+		t := r.tasks[i]
+		if ts.Job != t.wj.ID {
+			return ReplayResult{}, fmt.Errorf("cluster: checkpoint task %d is job %d, trace has job %d", i, ts.Job, t.wj.ID)
+		}
+		switch {
+		case !ts.Arrived:
+			r.q.Push(eventsim.Event{
+				Time: t.wj.Submit, Class: eventsim.ClassJob, Job: t.wj.ID, Kind: kindArrive,
+			})
+		case ts.Rejected:
+			t.rejected = true
+			r.done++
+		default:
+			if ts.Trainer == nil {
+				return ReplayResult{}, fmt.Errorf("cluster: checkpoint task %d arrived but has no trainer state", i)
+			}
+			if err := t.tr.restore(r.trans, ts.Trainer); err != nil {
+				return ReplayResult{}, err
+			}
+			if ts.Finished {
+				t.finish = ts.Finish
+				r.done++
+				continue
+			}
+			// The trainer's pending step event is derivable: steps fire
+			// every trainerTick from its arrival, so the next one is due
+			// at Submit+SimNow.
+			r.q.Push(eventsim.Event{
+				Time: ts.Trainer.Submit + ts.Trainer.SimNow, Class: eventsim.ClassJob, Job: t.wj.ID, Kind: kindStep,
+			})
+		}
+	}
+	r.q.Push(eventsim.Event{Time: ck.NextSched, Class: eventsim.ClassCluster, Kind: kindSched})
+	if _, err := r.drive(nil); err != nil {
+		return ReplayResult{}, err
+	}
+	return r.result(), nil
 }

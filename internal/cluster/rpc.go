@@ -247,16 +247,19 @@ func (s *Service) Commit(m ga.Matrix, changed []bool) error {
 }
 
 // RunRounds drives scheduling rounds every interval simulated seconds on
-// the eventsim kernel until stop is closed. The clock paces the rounds:
-// a Wall clock with a compression factor yields the live scheduler loop
-// (pollux-sched, the live-cluster example), a Virtual clock runs rounds
-// back to back. Round failures (a malformed policy result, say) are
-// reported through onRound and the loop keeps serving, matching the
-// resilience of the old hand-rolled daemon loops; onRound may be nil.
-func (s *Service) RunRounds(policy sched.Policy, interval float64, clock eventsim.Clock, stop <-chan struct{}, onRound func(now float64, scheduled int, err error)) {
+// the eventsim kernel until stop is closed. The first round fires at
+// start (zero for a fresh daemon; a restored daemon passes the next
+// round time its checkpoint recorded, so the cadence survives a
+// restart). The clock paces the rounds: a Wall clock with a compression
+// factor yields the live scheduler loop (pollux-sched, the live-cluster
+// example), a Virtual clock runs rounds back to back. Round failures (a
+// malformed policy result, say) are reported through onRound and the
+// loop keeps serving, matching the resilience of the old hand-rolled
+// daemon loops; onRound may be nil.
+func (s *Service) RunRounds(policy sched.Policy, interval float64, clock eventsim.Clock, start float64, stop <-chan struct{}, onRound func(now float64, scheduled int, err error)) {
 	var q eventsim.Queue
-	q.Push(eventsim.Event{Time: 0, Class: eventsim.ClassCluster})
-	eventsim.Drive(&q, clock, 0, func(e eventsim.Event) bool {
+	q.Push(eventsim.Event{Time: start, Class: eventsim.ClassCluster})
+	eventsim.Drive(&q, clock, start, func(e eventsim.Event) bool {
 		select {
 		case <-stop:
 			return false

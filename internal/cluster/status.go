@@ -1,0 +1,103 @@
+package cluster
+
+import "sort"
+
+// TenantStatus is one tenant's admission counters for the status
+// endpoint, with the queue-depth sum already averaged over rounds.
+type TenantStatus struct {
+	Name          string
+	Submitted     int
+	Admitted      int
+	Rejected      int
+	AvgQueueDepth float64
+}
+
+// ServiceStatus is a read-only point-in-time view of the service for the
+// HTTP status endpoint: cluster occupancy, job-queue depths, and the
+// front end's per-tenant admission counters. It is assembled under the
+// report lock only — never the scheduling lock — so serving it cannot
+// delay or reorder scheduling rounds.
+type ServiceStatus struct {
+	Nodes     int
+	GPUsTotal int
+	GPUsUsed  int
+	Usage     []int
+
+	// Jobs counts every registered job; Running those holding GPUs,
+	// Pending those admitted but currently allocated none (the queue
+	// depth), Done those that reported completion.
+	Jobs    int
+	Running int
+	Pending int
+	Done    int
+
+	// Admission and Priority name the front end's policies ("always" /
+	// "constant" without one); Tenants is sorted by name.
+	Admission string
+	Priority  string
+	Tenants   []TenantStatus
+}
+
+// Status assembles the service's current status view.
+func (s *Service) Status() ServiceStatus {
+	capacity := s.state.Capacity()
+	usage := s.state.Usage()
+	st := ServiceStatus{
+		Nodes: len(capacity),
+		Usage: usage,
+	}
+	for _, c := range capacity {
+		st.GPUsTotal += c
+	}
+	for _, u := range usage {
+		st.GPUsUsed += u
+	}
+
+	s.mu.Lock()
+	for _, name := range s.order {
+		st.Jobs++
+		switch {
+		case s.reports[name].Done:
+			st.Done++
+		case gpusOf(s.allocs[name].Row) > 0:
+			st.Running++
+		default:
+			st.Pending++
+		}
+	}
+	fe := s.fe
+	s.mu.Unlock()
+
+	st.Admission = fe.AdmissionName()
+	st.Priority = fe.PriorityName()
+	rounds := fe.Rounds()
+	stats := fe.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := stats[name]
+		t := TenantStatus{
+			Name:      name,
+			Submitted: ts.Submitted,
+			Admitted:  ts.Admitted,
+			Rejected:  ts.Rejected,
+		}
+		if rounds > 0 {
+			t.AvgQueueDepth = ts.QueueDepthSum / float64(rounds)
+		}
+		st.Tenants = append(st.Tenants, t)
+	}
+	return st
+}
+
+// gpusOf sums an allocation row.
+func gpusOf(row []int) int {
+	total := 0
+	for _, g := range row {
+		total += g
+	}
+	return total
+}

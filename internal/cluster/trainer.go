@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/eventsim"
 	"repro/internal/models"
 	"repro/internal/sched"
@@ -94,9 +95,12 @@ type Trainer struct {
 	batch    int
 	done     bool
 
-	// Control-loop state, touched only by the driving goroutine.
+	// Control-loop state, touched only by the driving goroutine. The rng
+	// is backed by src, a counting source whose (seed, draws) state makes
+	// the trainer checkpointable without changing a single draw.
 	transport    Transport
 	submit       float64
+	src          *detrand.Source
 	rng          *rand.Rand
 	ag           *agent.Agent
 	simNow       float64
@@ -159,7 +163,8 @@ func (t *Trainer) begin(tr Transport, submit float64) error {
 	}
 	t.transport = tr
 	t.submit = submit
-	t.rng = rand.New(rand.NewSource(t.Seed))
+	t.src = detrand.NewSource(t.Seed)
+	t.rng = rand.New(t.src)
 	t.ag = agent.New(t.Spec.M0, t.Spec.Eta0, t.Spec.MaxBatchPerGPU, t.Spec.MaxBatchGlobal)
 	t.mu.Lock()
 	t.batch = t.Spec.M0

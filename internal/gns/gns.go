@@ -206,6 +206,29 @@ func (t *Tracker) NoiseScale() float64 {
 	return v / n
 }
 
+// TrackerState is the serializable state of a Tracker, used by the
+// scheduler-service checkpoint machinery.
+type TrackerState struct {
+	Decay  float64
+	SqNorm float64
+	ExVar  float64
+	Weight float64
+}
+
+// State returns the tracker's serializable state.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{Decay: t.decay, SqNorm: t.sqNorm, ExVar: t.exVar, Weight: t.weight}
+}
+
+// RestoreTracker rebuilds a Tracker from a State. It validates the decay
+// the same way NewTracker does, so a corrupt snapshot fails loudly.
+func RestoreTracker(st TrackerState) (*Tracker, error) {
+	if st.Decay <= 0 || st.Decay >= 1 {
+		return nil, errors.New("gns: restored decay must be in (0, 1)")
+	}
+	return &Tracker{decay: st.Decay, sqNorm: st.SqNorm, exVar: st.ExVar, weight: st.Weight}, nil
+}
+
 // Stats returns the bias-corrected smoothed (mu², S) pair.
 func (t *Tracker) Stats() Estimate {
 	if t.weight == 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/ga"
 )
 
@@ -123,7 +124,12 @@ func (o *PolluxOptions) defaults() {
 // until the job's reported model changes.
 type Pollux struct {
 	opts PolluxOptions
-	rng  *rand.Rand
+	// src is the counting source behind rng: it draws exactly like the
+	// stock math/rand source but exposes a serializable (seed, draws)
+	// state, which is what makes Snapshot/Restore possible without
+	// perturbing any fixed-seed trace.
+	src *detrand.Source
+	rng *rand.Rand
 
 	prevPop  []ga.Matrix
 	prevJobs []int // job IDs aligned with prevPop rows
@@ -169,9 +175,11 @@ func (p *Pollux) LastRoundStats() RoundStats { return p.lastStats }
 // NewPollux creates a PolluxSched instance with its own deterministic RNG.
 func NewPollux(opts PolluxOptions, seed int64) *Pollux {
 	opts.defaults()
+	src := detrand.NewSource(seed)
 	return &Pollux{
 		opts:   opts,
-		rng:    rand.New(rand.NewSource(seed)),
+		src:    src,
+		rng:    rand.New(src),
 		tables: make(map[int]*speedupTable),
 	}
 }

@@ -102,6 +102,12 @@ type Config struct {
 	// LogEvents records a structured event log (submissions,
 	// re-allocations, batch changes, completions) in the Result.
 	LogEvents bool
+	// OnRound, when set, runs after every scheduling round with the
+	// simulation time of the round, under both engines. It exists for
+	// observability (the opt-in pollux-sim status endpoint publishes
+	// from it) and for checkpoint round-trip tests; implementations
+	// observe — they must not mutate the cluster.
+	OnRound func(now float64)
 }
 
 func (c *Config) defaults() {
@@ -421,6 +427,9 @@ func (c *Cluster) agentTick() {
 // with matrix-wide capacity validation included.
 func (c *Cluster) scheduleTick() {
 	rounds.Step(c, c.fe, c.policy, c.now) //nolint:errcheck // defensive skip
+	if c.cfg.OnRound != nil {
+		c.cfg.OnRound(c.now)
+	}
 }
 
 // Round snapshots the scheduler inputs for runtime.Step: every active

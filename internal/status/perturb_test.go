@@ -1,0 +1,84 @@
+package status
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestStatusEndpointDoesNotPerturbRun: a fixed-seed simulation whose
+// rounds feed a registry that is being scraped concurrently over HTTP
+// must produce results bit-identical to the same run with no
+// observability at all — the endpoint is read-only by construction, and
+// this pins it.
+func TestStatusEndpointDoesNotPerturbRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := workload.Generate(rng, workload.Options{Jobs: 12, Hours: 0.5})
+	trace := workload.Trace{Duration: full.Duration}
+	for _, j := range full.Jobs {
+		if j.Model == "resnet18" || j.Model == "neumf" {
+			trace.Jobs = append(trace.Jobs, j)
+		}
+	}
+	if len(trace.Jobs) < 3 {
+		t.Skip("trace too small after filtering")
+	}
+	mkPolicy := func() *sched.Pollux {
+		return sched.NewPollux(sched.PolluxOptions{Population: 15, Generations: 8}, 7)
+	}
+	cfg := sim.Config{
+		Nodes: 4, GPUsPerNode: 4, Tick: 2, UseTunedConfig: true,
+		MaxTime: 12 * 3600, Seed: 7,
+	}
+
+	plain := sim.NewCluster(trace, mkPolicy(), cfg).Run()
+
+	reg := New("pollux")
+	p := mkPolicy()
+	observed := cfg
+	prev := time.Now()
+	observed.OnRound = func(now float64) {
+		stats := p.LastRoundStats()
+		reg.ObserveRound(now, stats.Sub, time.Since(prev).Seconds(), stats, nil)
+		prev = time.Now()
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/status", "/metrics"} {
+				resp, err := srv.Client().Get(srv.URL + path)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	withStatus := sim.NewCluster(trace, p, observed).Run()
+	close(stop)
+	wg.Wait()
+
+	if !reflect.DeepEqual(plain, withStatus) {
+		t.Fatalf("serving the status endpoint changed the run:\n%+v\nvs\n%+v",
+			plain.Summary, withStatus.Summary)
+	}
+	if reg.Snapshot().Rounds == 0 {
+		t.Fatal("registry observed no rounds")
+	}
+}

@@ -1,0 +1,128 @@
+package status
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func observeSome(r *Registry) {
+	r.ObserveRound(60, 3, 0.010, sched.RoundStats{Jobs: 4, Sub: 4, Full: true, FitnessCells: 1000}, nil)
+	r.ObserveRound(120, 0, 0.002, sched.RoundStats{}, errors.New("boom"))
+	r.ObserveRound(180, 5, 0.030, sched.RoundStats{Jobs: 5, Sub: 2, Racks: 1, FitnessCells: 400}, nil)
+}
+
+func TestRegistryAccumulates(t *testing.T) {
+	r := New("pollux")
+	observeSome(r)
+	s := r.Snapshot()
+	if s.Policy != "pollux" || s.Rounds != 3 {
+		t.Fatalf("policy/rounds: %+v", s)
+	}
+	if s.LastRoundTime != 180 || s.LastScheduled != 5 || s.LastError != "" {
+		t.Fatalf("last round fields: %+v", s)
+	}
+	//pollux:floateq-ok Max is copied verbatim from the observed value, so exact identity is the contract
+	if s.RoundLatency.Count != 3 || s.RoundLatency.Max != 0.030 {
+		t.Fatalf("latency: %+v", s.RoundLatency)
+	}
+	if s.RoundLatency.Avg <= 0.013 || s.RoundLatency.Avg >= 0.015 {
+		t.Fatalf("latency avg out of range: %+v", s.RoundLatency)
+	}
+	if s.RoundStats.Sub != 2 || s.RoundStats.Racks != 1 {
+		t.Fatalf("round stats: %+v", s.RoundStats)
+	}
+	if s.Cluster != nil {
+		t.Fatalf("cluster present without a source: %+v", s.Cluster)
+	}
+
+	r.ObserveRound(240, 0, 0.001, sched.RoundStats{}, errors.New("transient"))
+	if got := r.Snapshot().LastError; got != "transient" {
+		t.Fatalf("last error = %q, want transient", got)
+	}
+}
+
+func testSource() Cluster {
+	return Cluster{
+		Nodes: 4, GPUsTotal: 16, GPUsUsed: 10, Usage: []int{4, 4, 2, 0},
+		Jobs: 6, Running: 3, Pending: 2, Done: 1,
+		Admission: "quota", Priority: "slo",
+		Tenants: []Tenant{
+			{Name: "acme", Submitted: 4, Admitted: 3, Rejected: 1, AvgQueueDepth: 0.5},
+			{Name: "beta", Submitted: 2, Admitted: 2},
+		},
+	}
+}
+
+func TestStatusEndpointJSON(t *testing.T) {
+	r := New("pollux")
+	observeSome(r)
+	r.SetSource(testSource)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 3 || s.Cluster == nil || s.Cluster.GPUsUsed != 10 {
+		t.Fatalf("served snapshot: %+v", s)
+	}
+	if len(s.Cluster.Tenants) != 2 || s.Cluster.Tenants[0].Name != "acme" {
+		t.Fatalf("served tenants: %+v", s.Cluster.Tenants)
+	}
+}
+
+func TestStatusEndpointMetrics(t *testing.T) {
+	r := New("pollux")
+	observeSome(r)
+	r.SetSource(testSource)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		`pollux_build_info{policy="pollux"} 1`,
+		"pollux_rounds_total 3",
+		"pollux_last_round_sim_seconds 180",
+		"pollux_round_latency_seconds_count 3",
+		"pollux_round_latency_seconds_max 0.03",
+		"pollux_round_fitness_cells 400",
+		"pollux_cluster_gpus_used 10",
+		`pollux_jobs{state="pending"} 2`,
+		`pollux_admission_info{admission="quota",priority="slo"} 1`,
+		`pollux_tenant_rejected_total{tenant="acme"} 1`,
+		`pollux_tenant_avg_queue_depth{tenant="acme"} 0.5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// Exactly one HELP/TYPE header per metric name, however many series.
+	if n := strings.Count(body, "# TYPE pollux_jobs "); n != 1 {
+		t.Errorf("pollux_jobs declared %d times, want 1", n)
+	}
+}

@@ -1,0 +1,48 @@
+package status
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ga"
+	"repro/internal/sched"
+)
+
+// TimedPolicy wraps a Pollux policy so every Schedule call's wall-clock
+// duration — the daemon's per-round scheduling latency — can be fed to a
+// Registry. Embedding the concrete *sched.Pollux keeps every optional
+// capability visible: the wrapper still satisfies the checkpoint
+// interface (Snapshot/Restore promote through), so a timed daemon
+// checkpoints exactly like an untimed one. The wrapper lives here, not
+// in the deterministic core: this is the one layer allowed to look at
+// the wall clock.
+type TimedPolicy struct {
+	*sched.Pollux
+	mu   sync.Mutex
+	last float64
+}
+
+// Timed wraps a Pollux policy for latency measurement.
+func Timed(p *sched.Pollux) *TimedPolicy {
+	return &TimedPolicy{Pollux: p}
+}
+
+// Schedule delegates to the wrapped policy, recording the call's
+// duration.
+func (t *TimedPolicy) Schedule(v *sched.ClusterView) ga.Matrix {
+	start := time.Now()
+	m := t.Pollux.Schedule(v)
+	elapsed := time.Since(start).Seconds()
+	t.mu.Lock()
+	t.last = elapsed
+	t.mu.Unlock()
+	return m
+}
+
+// LastLatencySeconds returns the duration of the most recent Schedule
+// call.
+func (t *TimedPolicy) LastLatencySeconds() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last
+}
